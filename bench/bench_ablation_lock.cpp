@@ -1,0 +1,74 @@
+// Ablation: lock-per-sample vs one lock epoch per target in batch fetches.
+//
+// The paper's Fig. 3 walkthrough issues MPI_Win_lock / MPI_Get /
+// MPI_Win_unlock per item.  An obvious optimization is to sort a batch by
+// owner and hold one shared-lock epoch per distinct target, amortizing the
+// lock/unlock software overhead (NetworkParams::rma_lock_fraction of the
+// per-get cost).  This bench measures both against batch size, plus the
+// Block vs RoundRobin chunk-placement choice.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void sweep(StagedData& data, const model::MachineConfig& machine, int nranks,
+           bool lock_per_target, core::Placement placement) {
+  simmpi::Runtime rt(nranks, machine);
+  rt.run([&](simmpi::Comm& comm) {
+    fs::FsClient client(data.fs(), machine.node_of_rank(comm.world_rank()),
+                        comm.clock(), comm.rng());
+    core::DDStoreConfig config;
+    config.lock_per_target = lock_per_target;
+    config.placement = placement;
+    config.charge_replica_preload = false;
+    core::DDStore store(comm, data.cff(), client, config);
+    comm.barrier();
+    comm.clock().reset();
+
+    train::GlobalShuffleSampler sampler(store.num_samples(), 128, 9);
+    sampler.begin_epoch(0, comm);
+    for (std::uint64_t step = 0; step < sampler.steps_per_epoch(); ++step) {
+      const auto ids = sampler.batch_ids(step);
+      const auto batch = store.get_batch(ids);
+      DDS_CHECK(batch.size() == ids.size());
+    }
+    store.fence();
+
+    if (comm.rank() == 0) {
+      const auto& st = store.stats();
+      print_row({lock_per_target ? "lock-per-target" : "lock-per-sample",
+                 placement == core::Placement::Block ? "block" : "round-robin",
+                 fmt(st.latency.percentile(50) * 1e3, 3) + " ms",
+                 fmt(st.latency.percentile(99) * 1e3, 3) + " ms",
+                 fmt(st.latency.mean() * 1e3, 3) + " ms"});
+    }
+    comm.barrier();
+  });
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 32;
+  StagedData data(machine, datagen::DatasetKind::AisdExDiscrete, 16'384,
+                  kRanks, /*with_pff=*/false);
+
+  std::printf("# Ablation (Perlmutter, %d GPUs): RMA lock granularity and "
+              "chunk placement, batch 128\n", kRanks);
+  print_row({"lock mode", "placement", "p50 fetch", "p99 fetch", "mean"});
+  for (const bool per_target : {false, true}) {
+    for (const auto placement :
+         {core::Placement::Block, core::Placement::RoundRobin}) {
+      sweep(data, machine, kRanks, per_target, placement);
+    }
+  }
+  std::printf("# amortizing the lock epoch saves ~%.0f%% of the per-get "
+              "software overhead on every fetch after the first per target\n",
+              100.0 * machine.net.rma_lock_fraction);
+  return 0;
+}

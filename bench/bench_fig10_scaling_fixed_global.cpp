@@ -1,0 +1,60 @@
+// Fig. 10: scaling with a *fixed global* batch size (6144 on Summit, 4096
+// on Perlmutter) for AISD-Ex discrete — the strong-scaling regime
+// application scientists use.
+//
+// As nodes double the local batch halves, so GPUs under-utilize at scale
+// (the fixed kernel overhead dominates) and the gap between DDStore and
+// the file formats narrows — the effect the paper notes on Perlmutter.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void run_machine(const model::MachineConfig& machine,
+                 std::uint64_t global_batch) {
+  std::printf("\n# Fig. 10 (%s, global batch %llu, AISD-Ex discrete): "
+              "throughput [samples/s]\n",
+              machine.name.c_str(),
+              static_cast<unsigned long long>(global_batch));
+  print_row({"nodes", "gpus", "local batch", "PFF", "CFF", "DDStore"});
+
+  // The global batch is fixed, so one staged dataset serves every scale.
+  const std::uint64_t num_samples = global_batch * 3;
+  for (int nodes = 8; nodes <= 256; nodes *= 2) {
+    const int nranks = nodes * machine.gpus_per_node;
+    if (global_batch % static_cast<std::uint64_t>(nranks) != 0) continue;
+    const std::uint64_t local_batch =
+        global_batch / static_cast<std::uint64_t>(nranks);
+
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = datagen::DatasetKind::AisdExDiscrete;
+    sc.nranks = nranks;
+    sc.local_batch = local_batch;
+    sc.epochs = 1;
+    sc.num_samples = num_samples;
+    sc.ddstore.charge_replica_preload = false;
+
+    StagedData data(machine, sc.kind, num_samples, nranks, /*with_pff=*/true);
+    std::vector<std::string> row = {std::to_string(nodes),
+                                    std::to_string(nranks),
+                                    std::to_string(local_batch)};
+    for (const auto backend :
+         {BackendKind::Pff, BackendKind::Cff, BackendKind::DDStore}) {
+      row.push_back(fmt(run_training(data, sc, backend).mean_throughput(), 0));
+    }
+    print_row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_machine(model::summit(), 6144);
+  run_machine(model::perlmutter(), 4096);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 12 + Table 3: impact of the width parameter on graph-loading
+// latency, 16 Perlmutter nodes (64 GPUs), default width=64 vs width=2.
+//
+// With width=2, each replica group is a rank pair holding a full copy of
+// the dataset, so ~half of a uniform random workload is served from the
+// rank's own chunk at local-memcpy latency — which drags the median down
+// by ~80-87% (Table 3) even though the remote path is unchanged.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "common/units.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+int main() {
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 64;  // 16 nodes x 4 GPUs
+
+  std::printf("# Table 3 (Perlmutter, 16 nodes): 50th percentile loading "
+              "latency, width=64 (default) vs width=2\n");
+  print_row({"dataset", "width=64 p50", "width=2 p50", "reduction",
+             "paper reduction"});
+  const char* paper_reduction[] = {"79.17%", "87.18%", "86.36%", "85.71%"};
+
+  std::vector<std::pair<std::string, LatencyRecorder>> curves;
+  int row = 0;
+  for (const auto kind : datagen::kPerfDatasetKinds) {
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = kind;
+    sc.nranks = kRanks;
+    sc.local_batch = 128;
+    sc.epochs = 3;
+    sc.num_samples = scaled_samples(kRanks, sc.local_batch, /*min_steps=*/3);
+    sc.ddstore.charge_replica_preload = false;
+
+    StagedData data(machine, kind, sc.num_samples, kRanks, /*with_pff=*/false);
+
+    double p50[2] = {0, 0};
+    int i = 0;
+    for (const int width : {kRanks, 2}) {
+      Scenario run = sc;
+      run.ddstore.width = width;
+      auto result = run_training(data, run, BackendKind::DDStore);
+      p50[i] = result.latencies.percentile(50);
+      curves.emplace_back(datagen::dataset_spec(kind).name + "/width=" +
+                              std::to_string(width),
+                          std::move(result.latencies));
+      ++i;
+    }
+    print_row({datagen::dataset_spec(kind).name, format_seconds(p50[0]),
+               format_seconds(p50[1]),
+               fmt(100.0 * (1.0 - p50[1] / p50[0]), 2) + "%",
+               paper_reduction[row++]});
+  }
+
+  std::printf("\n# Fig. 12: latency CDFs (latency_ms, cumulative_fraction)\n");
+  for (const auto& [name, rec] : curves) {
+    std::printf("curve %s:", name.c_str());
+    for (const auto& [value, frac] : rec.cdf_curve(21)) {
+      std::printf(" (%.3f, %.2f)", value * 1e3, frac);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

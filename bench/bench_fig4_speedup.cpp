@@ -1,0 +1,59 @@
+// Fig. 4: normalized end-to-end training speedup.
+//
+// (a) 384 GPUs on Summit, (b) 64 GPUs on Perlmutter; batch size 128 per
+// GPU; throughput normalized to PFF; final column is the geometric mean
+// across the four datasets.  Paper headline: DDStore ~2.9x/4.7x PFF
+// (Summit/Perlmutter geomean) and ~5.1x/6.1x CFF.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void run_machine(const model::MachineConfig& machine, int nranks) {
+  std::printf("\n# Fig. 4 (%s, %d GPUs): throughput normalized to PFF\n",
+              machine.name.c_str(), nranks);
+  print_row({"dataset", "PFF", "CFF", "DDStore", "PFF samp/s", "CFF samp/s",
+             "DDStore samp/s"});
+
+  std::vector<double> cff_speedups, dds_speedups;
+  for (const auto kind : datagen::kPerfDatasetKinds) {
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = kind;
+    sc.nranks = nranks;
+    sc.local_batch = 128;
+    sc.epochs = 2;
+    sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2);
+
+    StagedData data(machine, kind, sc.num_samples, nranks, /*with_pff=*/true);
+    const double pff = run_training(data, sc, BackendKind::Pff)
+                           .mean_throughput();
+    const double cff = run_training(data, sc, BackendKind::Cff)
+                           .mean_throughput();
+    const double dds = run_training(data, sc, BackendKind::DDStore)
+                           .mean_throughput();
+
+    cff_speedups.push_back(normalize(cff, pff));
+    dds_speedups.push_back(normalize(dds, pff));
+    print_row({datagen::dataset_spec(kind).name, fmt(1.0, 2),
+               fmt(normalize(cff, pff), 2), fmt(normalize(dds, pff), 2),
+               fmt(pff, 0), fmt(cff, 0), fmt(dds, 0)});
+  }
+  print_row({"Geomean", fmt(1.0, 2), fmt(geomean(cff_speedups), 2),
+             fmt(geomean(dds_speedups), 2), "", "", ""});
+  std::printf("# paper: DDStore geomean %s; vs CFF %s\n",
+              machine.name == "Summit" ? "2.93x PFF" : "4.69x PFF",
+              machine.name == "Summit" ? "5.09x" : "6.13x");
+}
+
+}  // namespace
+
+int main() {
+  run_machine(model::summit(), /*nranks=*/384);      // Fig. 4(a)
+  run_machine(model::perlmutter(), /*nranks=*/64);   // Fig. 4(b)
+  return 0;
+}

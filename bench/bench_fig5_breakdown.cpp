@@ -1,0 +1,62 @@
+// Fig. 5: end-to-end training time breakdown of PFF, CFF, and DDStore
+// using 64 GPUs on Perlmutter.
+//
+// Per (dataset, methodology): mean per-rank seconds per epoch spent in
+// CPU-Loading, CPU-Batching, GPU-Compute (forward+backward), GPU-Comm
+// (gradient all-reduce incl. straggler stall), and GPU-Optimizer.  The
+// paper's observation: "most of the time reduction by DDStore comes from
+// CPU-Loading" (-90.7% vs PFF, -84.3% vs CFF on average).
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+int main() {
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 64;
+
+  std::printf("# Fig. 5 (Perlmutter, 64 GPUs): per-epoch time breakdown, "
+              "mean per rank [s]\n");
+  print_row({"dataset", "method", "CPU-Loading", "CPU-Batching",
+             "GPU-Compute", "GPU-Comm", "GPU-Optimizer", "epoch total"});
+
+  double pff_load_sum = 0, cff_load_sum = 0, dds_load_sum = 0;
+  int rows = 0;
+  for (const auto kind : datagen::kPerfDatasetKinds) {
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = kind;
+    sc.nranks = kRanks;
+    sc.local_batch = 128;
+    sc.epochs = 2;
+    sc.num_samples = scaled_samples(kRanks, sc.local_batch, /*min_steps=*/3);
+
+    StagedData data(machine, kind, sc.num_samples, kRanks, /*with_pff=*/true);
+    for (const auto backend :
+         {BackendKind::Pff, BackendKind::Cff, BackendKind::DDStore}) {
+      const auto result = run_training(data, sc, backend);
+      // Use the last epoch (steady state, warm caches).
+      const auto& rep = result.epochs.back();
+      const auto& p = rep.mean_profile;
+      using train::Phase;
+      const double load = p.get(Phase::Load);
+      print_row({datagen::dataset_spec(kind).name, backend_name(backend),
+                 fmt(load), fmt(p.get(Phase::Batch)),
+                 fmt(p.get(Phase::Forward) + p.get(Phase::Backward)),
+                 fmt(p.get(Phase::GradComm)), fmt(p.get(Phase::Optimizer)),
+                 fmt(rep.epoch_seconds)});
+      if (backend == BackendKind::Pff) pff_load_sum += load;
+      if (backend == BackendKind::Cff) cff_load_sum += load;
+      if (backend == BackendKind::DDStore) dds_load_sum += load;
+    }
+    ++rows;
+  }
+
+  std::printf("\n# CPU-Loading reduction by DDStore: vs PFF %.2f%%, "
+              "vs CFF %.2f%% (paper: 90.68%% / 84.31%%)\n",
+              100.0 * (1.0 - dds_load_sum / pff_load_sum),
+              100.0 * (1.0 - dds_load_sum / cff_load_sum));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 8: scaling with a fixed per-GPU batch size of 128.
+//
+// Summit: 8-256 nodes (48-1536 GPUs); Perlmutter: 8-256 nodes (32-1024
+// GPUs); AISD-Ex discrete and smooth; PFF vs CFF vs DDStore; two seeds per
+// point give the variability band (the paper's grey area).  Expected
+// shape: DDStore scales near-linearly in GPUs; PFF saturates at the
+// metadata server and CFF at the filesystem data path, with much larger
+// run-to-run variability.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void run_machine(const model::MachineConfig& machine,
+                 datagen::DatasetKind kind) {
+  std::printf("\n# Fig. 8 (%s, %s): throughput [samples/s] vs GPUs, "
+              "fixed local batch 128\n",
+              machine.name.c_str(), datagen::dataset_spec(kind).name.c_str());
+  print_row({"nodes", "gpus", "PFF lo", "PFF hi", "CFF lo", "CFF hi",
+             "DDStore lo", "DDStore hi"});
+
+  for (int nodes = 8; nodes <= 256; nodes *= 2) {
+    const int nranks = nodes * machine.gpus_per_node;
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = kind;
+    sc.nranks = nranks;
+    sc.local_batch = 128;
+    sc.epochs = 1;
+    sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2);
+    sc.ddstore.charge_replica_preload = false;  // preload excluded anyway
+
+    StagedData data(machine, kind, sc.num_samples, nranks, /*with_pff=*/true);
+    std::vector<std::string> row = {std::to_string(nodes),
+                                    std::to_string(nranks)};
+    for (const auto backend :
+         {BackendKind::Pff, BackendKind::Cff, BackendKind::DDStore}) {
+      double lo = 1e300, hi = 0;
+      for (const std::uint64_t seed : {11ULL, 29ULL}) {
+        Scenario run = sc;
+        run.seed = seed;
+        const double tput = run_training(data, run, backend)
+                                .mean_throughput();
+        lo = std::min(lo, tput);
+        hi = std::max(hi, tput);
+      }
+      row.push_back(fmt(lo, 0));
+      row.push_back(fmt(hi, 0));
+    }
+    print_row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_machine(model::summit(), datagen::DatasetKind::AisdExDiscrete);
+  run_machine(model::summit(), datagen::DatasetKind::AisdExSmooth);
+  run_machine(model::perlmutter(), datagen::DatasetKind::AisdExDiscrete);
+  run_machine(model::perlmutter(), datagen::DatasetKind::AisdExSmooth);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 9: per-function duration breakdown of DDStore training at the same
+// settings as Fig. 8 (fixed local batch 128, AISD-Ex discrete).
+//
+// For each scale, the mean per-rank seconds per epoch of every training
+// phase — showing which functions stay flat (per-step work) and which
+// shrink as the fixed-size dataset spreads over more GPUs.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void run_machine(const model::MachineConfig& machine) {
+  std::printf("\n# Fig. 9 (%s, AISD-Ex discrete, DDStore): per-epoch phase "
+              "durations [s/rank]\n",
+              machine.name.c_str());
+  print_row({"nodes", "gpus", "CPU-Loading", "CPU-Batching", "GPU-Forward",
+             "GPU-Backward", "GPU-Comm", "GPU-Optimizer", "epoch"});
+  for (int nodes = 8; nodes <= 256; nodes *= 2) {
+    const int nranks = nodes * machine.gpus_per_node;
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = datagen::DatasetKind::AisdExDiscrete;
+    sc.nranks = nranks;
+    sc.local_batch = 128;
+    sc.epochs = 1;
+    sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2);
+    sc.ddstore.charge_replica_preload = false;
+
+    StagedData data(machine, sc.kind, sc.num_samples, nranks,
+                    /*with_pff=*/false);
+    const auto result = run_training(data, sc, BackendKind::DDStore);
+    const auto& rep = result.epochs.back();
+    const auto& p = rep.mean_profile;
+    using train::Phase;
+    print_row({std::to_string(nodes), std::to_string(nranks),
+               fmt(p.get(Phase::Load)), fmt(p.get(Phase::Batch)),
+               fmt(p.get(Phase::Forward)), fmt(p.get(Phase::Backward)),
+               fmt(p.get(Phase::GradComm)), fmt(p.get(Phase::Optimizer)),
+               fmt(rep.epoch_seconds)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_machine(model::summit());
+  run_machine(model::perlmutter());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 1: dataset description.
+//
+// Prints the paper-scale statistics carried by each DatasetSpec (the rows
+// of Table 1), then generates a scaled-down instance of each dataset,
+// stages it in both formats, and reports measured per-graph statistics
+// next to the paper's, verifying that the synthetic generators match the
+// published workload shape.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "common/units.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+int main() {
+  std::printf("# Table 1: Dataset description (paper-scale nominal values)\n");
+  print_row({"dataset", "#graphs", "#nodes", "#edges", "#feature",
+             "PFF size", "CFF size", "PFF B/sample", "CFF B/sample"});
+  for (const auto kind : datagen::kAllDatasetKinds) {
+    const auto spec = datagen::dataset_spec(kind);
+    print_row({spec.name, format_count(static_cast<double>(spec.full_num_graphs)),
+               format_count(static_cast<double>(spec.full_num_nodes)),
+               format_count(static_cast<double>(spec.full_num_edges)),
+               std::to_string(spec.feature_count),
+               format_bytes(static_cast<double>(spec.full_pff_bytes)),
+               format_bytes(static_cast<double>(spec.full_cff_bytes)),
+               std::to_string(spec.nominal_pff_sample_bytes()),
+               std::to_string(spec.nominal_cff_sample_bytes())});
+  }
+
+  std::printf(
+      "\n# Generated (scaled) datasets: measured shape vs paper shape\n");
+  print_row({"dataset", "samples", "nodes/graph (paper)",
+             "nodes/graph (measured)", "edges/graph (paper)",
+             "edges/graph (measured)", "staged CFF nominal",
+             "staged CFF actual"});
+  const auto machine = model::perlmutter();
+  for (const auto kind : datagen::kAllDatasetKinds) {
+    constexpr std::uint64_t kScaled = 2000;
+    StagedData data(machine, kind, kScaled, /*nranks=*/4, /*with_pff=*/false);
+    double nodes = 0, edges = 0;
+    for (std::uint64_t i = 0; i < kScaled; ++i) {
+      const auto s = data.dataset().make(i);
+      nodes += s.num_nodes;
+      edges += static_cast<double>(s.num_edges());
+    }
+    const auto& spec = data.dataset().spec();
+    std::uint64_t actual_bytes = 0;
+    for (const auto& path : data.fs().list("cff/")) {
+      actual_bytes += data.fs().file_size(path);
+    }
+    print_row({spec.name, std::to_string(kScaled),
+               fmt(spec.avg_nodes_per_graph(), 1), fmt(nodes / kScaled, 1),
+               fmt(spec.avg_edges_per_graph(), 1), fmt(edges / kScaled, 1),
+               format_bytes(static_cast<double>(
+                   data.fs().total_nominal_bytes())),
+               format_bytes(static_cast<double>(actual_bytes))});
+  }
+  return 0;
+}

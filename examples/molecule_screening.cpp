@@ -1,0 +1,112 @@
+// Domain example 2 — molecular design: train a HOMO-LUMO-gap surrogate,
+// then screen unseen candidate molecules with it.
+//
+// This is the paper's motivating application (§1): a GNN surrogate replaces
+// first-principles calculations so that "large chemical regions" can be
+// screened cheaply.  We train on AISD-HOMO-LUMO-style molecules through
+// DDStore, then rank a held-out candidate pool by predicted gap and report
+// how well the surrogate's top picks overlap the true low-gap molecules.
+//
+// Build & run:  ./build/examples/molecule_screening
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/ddstore.hpp"
+#include "datagen/dataset.hpp"
+#include "datagen/molecule.hpp"
+#include "formats/cff.hpp"
+#include "train/real_trainer.hpp"
+
+using namespace dds;
+
+int main() {
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 2;
+  constexpr std::uint64_t kSamples = 600;  // 480 train+val+test, 120 screen
+  constexpr std::uint64_t kPool = 120;
+  constexpr int kEpochs = 30;
+
+  fs::ParallelFileSystem pfs(machine.fs, machine.nodes_for_ranks(kRanks));
+  const auto dataset =
+      datagen::make_dataset(datagen::DatasetKind::AisdHomoLumo, kSamples, 23);
+  formats::CffWriter::stage(pfs, "data/aisd", *dataset, 2);
+  const formats::CffReader reader(pfs, "data/aisd",
+                                  dataset->spec().nominal_cff_sample_bytes());
+
+  simmpi::Runtime runtime(kRanks, machine);
+  runtime.run([&](simmpi::Comm& world) {
+    fs::FsClient fs_client(pfs, machine.node_of_rank(world.world_rank()),
+                           world.clock(), world.rng());
+    core::DDStore store(world, reader, fs_client);
+    train::DDStoreBackend backend(store);
+
+    // Train on the first 480 molecules (RealTrainer splits 80/10/10).
+    train::RealTrainerConfig cfg;
+    cfg.gnn.input_dim = datagen::kMoleculeFeatureDim;
+    cfg.gnn.hidden = 16;
+    cfg.gnn.pna_layers = 2;
+    cfg.gnn.fc_layers = 2;
+    cfg.gnn.output_dim = 1;
+    cfg.local_batch = 8;
+    cfg.optimizer.lr = 2e-3;
+    cfg.optimizer.weight_decay = 1e-4;
+
+    // Restrict training to the non-pool samples by wrapping the backend?
+    // Simpler: RealTrainer uses the first 80% for training; the screening
+    // pool below uses the LAST kPool ids, which fall inside the test split
+    // plus headroom — unseen during optimization.
+    train::RealTrainer trainer(world, backend, cfg);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      const auto r = trainer.run_epoch(static_cast<std::uint64_t>(epoch));
+      if (world.rank() == 0 && epoch % 5 == 0) {
+        std::printf("epoch %2d  train %.4f  val %.4f\n", epoch, r.train_loss,
+                    r.val_loss);
+      }
+    }
+
+    // Screen the candidate pool on rank 0: predict gaps, rank ascending
+    // (low-gap molecules are the interesting optoelectronic candidates).
+    if (world.rank() == 0) {
+      std::vector<graph::GraphSample> pool;
+      std::vector<double> true_gap;
+      for (std::uint64_t id = kSamples - kPool; id < kSamples; ++id) {
+        pool.push_back(store.get(id));
+        true_gap.push_back(pool.back().y[0]);
+        pool.back().y = {0.0f};  // hide the label from the batch
+      }
+      const auto batch = graph::GraphBatch::collate(pool);
+      const gnn::Tensor pred = trainer.model().forward(batch);
+
+      std::vector<std::size_t> by_pred(kPool), by_true(kPool);
+      std::iota(by_pred.begin(), by_pred.end(), 0);
+      by_true = by_pred;
+      std::sort(by_pred.begin(), by_pred.end(), [&](std::size_t a, std::size_t b) {
+        return pred.v[a] < pred.v[b];
+      });
+      std::sort(by_true.begin(), by_true.end(), [&](std::size_t a, std::size_t b) {
+        return true_gap[a] < true_gap[b];
+      });
+
+      constexpr std::size_t kTop = 20;
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < kTop; ++i) {
+        for (std::size_t j = 0; j < kTop; ++j) {
+          hits += (by_pred[i] == by_true[j]);
+        }
+      }
+      std::printf("\n# screening %llu candidates: surrogate top-%zu recovers "
+                  "%zu/%zu of the true lowest-gap molecules "
+                  "(random baseline ~%.1f)\n",
+                  static_cast<unsigned long long>(kPool), kTop, hits, kTop,
+                  static_cast<double>(kTop) * kTop / kPool);
+      std::printf("best candidate: molecule %llu, predicted gap %.2f eV, "
+                  "true gap %.2f eV\n",
+                  static_cast<unsigned long long>(kSamples - kPool +
+                                                  by_pred[0]),
+                  pred.v[by_pred[0]], true_gap[by_pred[0]]);
+    }
+    world.barrier();
+  });
+  return 0;
+}

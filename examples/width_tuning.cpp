@@ -1,0 +1,74 @@
+// Domain example 3 — operations: tuning the DDStore width for a machine.
+//
+// The width w trades memory (N/w full replicas of the dataset) against
+// loading latency (smaller groups mean more local/near fetches).  This
+// example sweeps the width on a 32-rank job and prints the trade-off
+// table an operator would use to pick a value (§4.6 of the paper), plus
+// the estimated memory footprint per rank at the paper's full scale.
+//
+// Build & run:  ./build/examples/width_tuning
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/ddstore.hpp"
+#include "datagen/dataset.hpp"
+#include "formats/cff.hpp"
+#include "train/loader.hpp"
+
+using namespace dds;
+
+int main() {
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 32;
+  constexpr std::uint64_t kSamples = 16'384;
+
+  fs::ParallelFileSystem pfs(machine.fs, machine.nodes_for_ranks(kRanks));
+  const auto dataset = datagen::make_dataset(
+      datagen::DatasetKind::AisdExDiscrete, kSamples, 31);
+  formats::CffWriter::stage(pfs, "data", *dataset, 4);
+  const formats::CffReader reader(pfs, "data",
+                                  dataset->spec().nominal_cff_sample_bytes());
+
+  // Full-scale chunk memory per rank: nominal dataset bytes / width.
+  const double full_bytes =
+      static_cast<double>(dataset->spec().full_cff_bytes);
+
+  std::printf("# DDStore width tuning (%s, %d ranks, AISD-Ex discrete)\n",
+              machine.name.c_str(), kRanks);
+  std::printf("width, replicas, local%%, p50_fetch, p99_fetch, "
+              "chunk_mem_per_rank(full scale)\n");
+
+  for (const int width : {2, 4, 8, 16, 32}) {
+    simmpi::Runtime runtime(kRanks, machine);
+    runtime.run([&](simmpi::Comm& world) {
+      fs::FsClient fs_client(pfs, machine.node_of_rank(world.world_rank()),
+                             world.clock(), world.rng());
+      core::DDStoreConfig config;
+      config.width = width;
+      config.charge_replica_preload = false;
+      core::DDStore store(world, reader, fs_client, config);
+      train::DDStoreBackend backend(store);
+      train::GlobalShuffleSampler sampler(kSamples, 64, 3);
+      train::DataLoader loader(backend, sampler, world.clock());
+      loader.begin_epoch(0, world);
+      while (loader.next()) {
+      }
+      store.fence();
+
+      if (world.rank() == 0) {
+        const auto& st = store.stats();
+        const double local_pct =
+            100.0 * static_cast<double>(st.local_gets) /
+            static_cast<double>(st.local_gets + st.remote_gets);
+        std::printf("%5d, %8d, %5.1f, %s, %s, %s\n", width,
+                    store.num_replicas(), local_pct,
+                    format_seconds(st.latency.percentile(50)).c_str(),
+                    format_seconds(st.latency.percentile(99)).c_str(),
+                    format_bytes(full_bytes / width).c_str());
+      }
+    });
+  }
+  std::printf("# pick the smallest width whose per-rank chunk fits beside "
+              "the model in device/host memory\n");
+  return 0;
+}

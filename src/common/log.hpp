@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Thread-safe (one mutex around emission), off-by-default below Warn so
+// tests and benchmarks stay quiet; benches raise the level explicitly.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dds {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+inline void log_message(LogLevel level, const std::string& msg) {
+  if (level < detail::log_level_ref()) return;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const std::scoped_lock lock(detail::log_mutex());
+  std::fprintf(stderr, "[dds %s] %s\n", names[static_cast<int>(level)],
+               msg.c_str());
+}
+
+inline void log_debug(const std::string& msg) {
+  log_message(LogLevel::Debug, msg);
+}
+inline void log_info(const std::string& msg) {
+  log_message(LogLevel::Info, msg);
+}
+inline void log_warn(const std::string& msg) {
+  log_message(LogLevel::Warn, msg);
+}
+inline void log_error(const std::string& msg) {
+  log_message(LogLevel::Error, msg);
+}
+
+}  // namespace dds

@@ -1,0 +1,65 @@
+// Size/time unit constants and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dds {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+
+/// "1.50 GB", "24.0 MB", "512 B" — decimal units to match the paper's tables.
+inline std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2f TB", bytes / 1e12);
+  } else if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+/// "2.25 ms", "432 us", "1.2 s" — matches the latency tables in the paper.
+inline std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else if (s >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", s * 1e9);
+  }
+  return buf;
+}
+
+/// "10.5 M", "1.1 B", "840 M" — count formatting for dataset tables.
+inline std::string format_count(double n) {
+  char buf[64];
+  if (n >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f B", n / 1e9);
+  } else if (n >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f M", n / 1e6);
+  } else if (n >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f K", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+  }
+  return buf;
+}
+
+}  // namespace dds

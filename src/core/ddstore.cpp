@@ -1,0 +1,199 @@
+#include "core/ddstore.hpp"
+
+#include <algorithm>
+
+namespace dds::core {
+
+namespace {
+
+/// Preloaded chunk: serialized samples back-to-back plus their lengths in
+/// storage order.  Shared across twin ranks (same group-rank, different
+/// replica groups) — immutable after construction.
+struct ChunkData {
+  ByteBuffer bytes;
+  std::vector<std::uint32_t> lengths;
+};
+
+ChunkData preload_chunk(const formats::SampleReader& reader,
+                        fs::FsClient& fs_client,
+                        const std::vector<std::uint64_t>& ids) {
+  ChunkData chunk;
+  chunk.lengths.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    const ByteBuffer bytes = reader.read_bytes(id, fs_client);
+    chunk.lengths.push_back(static_cast<std::uint32_t>(bytes.size()));
+    chunk.bytes.insert(chunk.bytes.end(), bytes.begin(), bytes.end());
+  }
+  return chunk;
+}
+
+}  // namespace
+
+DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
+                 fs::FsClient& fs_client, const DDStoreConfig& config)
+    : comm_(comm),
+      width_(config.width == 0 ? comm.size() : config.width),
+      config_(config),
+      nominal_sample_bytes_(reader.nominal_sample_bytes()),
+      decode_(config.decode) {
+  if (width_ < 1 || comm.size() % width_ != 0) {
+    throw ConfigError("DDStore width " + std::to_string(width_) +
+                      " must divide the communicator size " +
+                      std::to_string(comm.size()));
+  }
+  const std::uint64_t n = reader.num_samples();
+  const ChunkAssignment assignment(n, width_, config_.placement);
+
+  // 1. Replica groups: w *consecutive* ranks per group (paper §3.1).
+  const int replica = comm.rank() / width_;
+  group_ = comm_.split(replica, comm.rank());
+  DDS_CHECK(group_.size() == width_);
+  // Twins: ranks holding the same chunk across groups.
+  simmpi::Comm twins = comm_.split(group_.rank(), comm.rank());
+
+  // 2. Data Preloader: the twin leader (the group-0 member) materializes
+  // the chunk; other twins charge their own FS read time against a scratch
+  // buffer when configured, then alias the leader's bytes.
+  const double preload_start = fs_client.clock().now();
+  const auto ids = assignment.ids_of(group_.rank());
+  const std::shared_ptr<const ChunkData> chunk_data =
+      twins.share<ChunkData>(0, [&] {
+        return std::make_shared<ChunkData>(
+            preload_chunk(reader, fs_client, ids));
+      });
+  if (twins.rank() != 0 && config_.charge_replica_preload) {
+    for (const std::uint64_t id : ids) {
+      (void)reader.read_bytes(id, fs_client);  // timed, bytes discarded
+    }
+  }
+  chunk_ = std::shared_ptr<const ByteBuffer>(chunk_data, &chunk_data->bytes);
+  stats_.preload_seconds = fs_client.clock().now() - preload_start;
+
+  // 3. Data Registry: group 0 gathers chunk lengths to comm rank 0, which
+  // builds the (globally identical) index once; everyone shares it.
+  std::vector<std::uint32_t> gathered;
+  std::vector<std::size_t> counts;
+  if (replica == 0) {
+    gathered = group_.gatherv(
+        std::span<const std::uint32_t>(chunk_data->lengths), 0, &counts);
+  }
+  registry_ = comm_.share<DataRegistry>(0, [&] {
+    return DataRegistry::build(assignment,
+                               std::span<const std::uint32_t>(gathered),
+                               std::span<const std::size_t>(counts));
+  });
+
+  // 4. RMA registration (MPI_Win_create): chunks are read-only, so exposing
+  // the shared buffer mutably is safe (only shared-lock gets touch it).
+  // The chunk shared_ptr rides along as the window's keepalive so a rank
+  // tearing its store down early cannot free memory peers still read.
+  auto* mutable_bytes = const_cast<std::byte*>(chunk_->data());
+  window_.emplace(group_, MutableByteSpan(mutable_bytes, chunk_->size()),
+                  chunk_);
+}
+
+ByteBuffer DDStore::get_bytes(std::uint64_t id) {
+  const auto& entry = registry_->lookup(id);
+  ByteBuffer out(entry.length);
+  fetch_into(id, MutableByteSpan(out), /*locked=*/false);
+  return out;
+}
+
+void DDStore::fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
+                         bool lock_amortized) {
+  const auto& entry = registry_->lookup(id);
+  const int owner = static_cast<int>(entry.owner);
+  DDS_CHECK(dst.size() == entry.length);
+
+  if (config_.comm_mode == CommMode::TwoSided && owner != group_.rank()) {
+    // Message-broker alternative: request/response through the owner's
+    // broker.  The data plane still reads the owner's exposed region (the
+    // broker would serve from the same chunk); timing goes through the
+    // two-sided model including the broker service delay.
+    const auto* region =
+        static_cast<const std::byte*>(window_->region_data(owner));
+    std::memcpy(dst.data(), region + entry.offset, dst.size());
+    auto& rt = comm_.runtime();
+    const double poll = comm_.rng().exponential(1.0 /
+                                                config_.broker_poll_mean_s);
+    const double done = rt.network().two_sided_fetch_time(
+        comm_.world_rank(), group_.world_rank_of(owner),
+        nominal_sample_bytes_, comm_.clock().now(), poll);
+    comm_.clock().advance_to(done);
+  } else {
+    // One-sided RMA (the paper's design): lock, get, unlock.  When the
+    // caller holds a batch-wide lock epoch, the lock share of the software
+    // overhead is amortized away.
+    const double overhead_scale =
+        lock_amortized
+            ? 1.0 - comm_.runtime().machine().net.rma_lock_fraction
+            : 1.0;
+    if (!locked) window_->lock(owner, simmpi::LockType::Shared);
+    window_->get(dst, owner, entry.offset, nominal_sample_bytes_,
+                 overhead_scale);
+    if (!locked) window_->unlock(owner);
+  }
+
+  if (owner == group_.rank()) {
+    ++stats_.local_gets;
+  } else {
+    ++stats_.remote_gets;
+  }
+  stats_.bytes_fetched += entry.length;
+  stats_.nominal_bytes_fetched += nominal_sample_bytes_;
+}
+
+graph::GraphSample DDStore::get(std::uint64_t id) {
+  auto& clock = comm_.clock();
+  const double t0 = clock.now();
+  const ByteBuffer bytes = get_bytes(id);
+  decode_.charge(clock, nominal_sample_bytes_);
+  auto sample = graph::GraphSample::deserialize(bytes);
+  stats_.latency.add(clock.now() - t0);
+  return sample;
+}
+
+std::vector<graph::GraphSample> DDStore::get_batch(
+    std::span<const std::uint64_t> ids) {
+  std::vector<graph::GraphSample> out;
+  out.reserve(ids.size());
+  auto& clock = comm_.clock();
+
+  if (!config_.lock_per_target) {
+    for (const std::uint64_t id : ids) out.push_back(get(id));
+    return out;
+  }
+
+  // Ablation: one lock epoch per distinct target.  Sort fetch order by
+  // owner, but return samples in request order.
+  std::vector<std::size_t> order(ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return registry_->lookup(ids[a]).owner < registry_->lookup(ids[b]).owner;
+  });
+  out.resize(ids.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const int owner = static_cast<int>(registry_->lookup(ids[order[i]]).owner);
+    window_->lock(owner, simmpi::LockType::Shared);
+    bool first_in_epoch = true;
+    while (i < order.size() &&
+           static_cast<int>(registry_->lookup(ids[order[i]]).owner) == owner) {
+      const std::uint64_t id = ids[order[i]];
+      const double t0 = clock.now();
+      const auto& entry = registry_->lookup(id);
+      ByteBuffer bytes(entry.length);
+      fetch_into(id, MutableByteSpan(bytes), /*locked=*/true,
+                 /*lock_amortized=*/!first_in_epoch);
+      first_in_epoch = false;
+      decode_.charge(clock, nominal_sample_bytes_);
+      out[order[i]] = graph::GraphSample::deserialize(bytes);
+      stats_.latency.add(clock.now() - t0);
+      ++i;
+    }
+    window_->unlock(owner);
+  }
+  return out;
+}
+
+}  // namespace dds::core

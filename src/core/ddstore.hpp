@@ -1,0 +1,143 @@
+// DDStore: the in-memory distributed data store (§3 of the paper).
+//
+// Formally DS = (c, w, f): a dataset striped into c chunks, replicated with
+// width w (every group of w consecutive ranks holds a full replica), served
+// over communication framework f — here the simmpi one-sided RMA layer.
+//
+// Construction is collective over the training communicator:
+//   1. ranks split into N/w replica groups of w consecutive ranks;
+//   2. the Data Preloader reads each member's chunk from the filesystem
+//      through a format plugin (PFF/CFF SampleReader) — the only time the
+//      parallel FS is touched;
+//   3. the Data Registry (sample -> owner/offset/length) is built
+//      collectively and shared;
+//   4. each member registers its chunk in an RMA window (MPI_Win_create).
+// After that, every sample access is an in-memory transaction: a lookup in
+// the registry followed by MPI_Win_lock(SHARED) + MPI_Get + unlock against
+// a member of the caller's own replica group (Fig. 3 of the paper).
+//
+// In-process memory note: replica groups hold identical chunk content, so
+// ranks with the same group-rank alias one physical buffer ("twins") —
+// a pure memory optimization for the single-process simulation; timing
+// still charges every group its own preload and RMA costs.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "core/registry.hpp"
+#include "formats/reader.hpp"
+#include "simmpi/window.hpp"
+
+namespace dds::core {
+
+/// The communication framework 'f' of DS = (c, w, f).  The paper's design
+/// section considered a two-sided message-broker framework and rejected it
+/// for one-sided MPI RMA; both are implemented so the choice can be
+/// measured (bench_ablation_comm).
+enum class CommMode {
+  OneSidedRma,  ///< MPI_Win_lock(SHARED) + MPI_Get + unlock (the paper)
+  TwoSided      ///< request/response through a per-rank broker
+};
+
+struct DDStoreConfig {
+  /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
+  /// the paper's default).  comm.size() must be divisible by width.
+  int width = 0;
+  Placement placement = Placement::Block;
+  /// When true, every replica group charges its own preload FS reads
+  /// (as a real deployment would); when false only group 0 pays, which
+  /// keeps giant scaling benches cheap when preload time is excluded.
+  bool charge_replica_preload = true;
+  /// Ablation: batch fetches take one lock epoch per distinct target
+  /// instead of one per sample, amortizing the lock/unlock overhead.
+  bool lock_per_target = false;
+  /// Communication framework (one-sided RMA is the paper's choice).
+  CommMode comm_mode = CommMode::OneSidedRma;
+  /// TwoSided only: mean delay until the target's broker thread services a
+  /// queued request (it competes with the target's own training loop).
+  double broker_poll_mean_s = 300e-6;
+  /// CPU cost of decoding a fetched sample (in-memory buffer).
+  formats::DecodeCost decode = formats::DecodeCost::in_memory();
+};
+
+struct DDStoreStats {
+  std::uint64_t local_gets = 0;
+  std::uint64_t remote_gets = 0;
+  std::uint64_t bytes_fetched = 0;          ///< actual bytes
+  std::uint64_t nominal_bytes_fetched = 0;  ///< paper-scale bytes
+  /// Per-sample graph-loading latency (fetch + decode), the quantity in
+  /// the paper's Fig. 6/12 and Tables 2/3.
+  LatencyRecorder latency;
+  double preload_seconds = 0.0;
+};
+
+class DDStore {
+ public:
+  /// Collective over `comm`.  `reader` resolves sample bytes during
+  /// preload; `fs_client` is this rank's filesystem client.
+  DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
+          fs::FsClient& fs_client, const DDStoreConfig& config = {});
+
+  DDStore(const DDStore&) = delete;
+  DDStore& operator=(const DDStore&) = delete;
+
+  std::uint64_t num_samples() const { return registry_->num_samples(); }
+  std::uint64_t nominal_sample_bytes() const { return nominal_sample_bytes_; }
+  int width() const { return width_; }
+  int num_replicas() const { return comm_.size() / width_; }
+  int group_rank() const { return group_.rank(); }
+  int replica_index() const { return comm_.rank() / width_; }
+
+  /// Owner (group rank) of a sample — a registry lookup.
+  int owner_of(std::uint64_t id) const {
+    return static_cast<int>(registry_->lookup(id).owner);
+  }
+  bool is_local(std::uint64_t id) const {
+    return owner_of(id) == group_.rank();
+  }
+
+  /// Fetches the serialized bytes of one sample (RMA get or local copy).
+  ByteBuffer get_bytes(std::uint64_t id);
+
+  /// Fetches and decodes one sample; records its loading latency.
+  graph::GraphSample get(std::uint64_t id);
+
+  /// Fetches a batch in request order (the Data Loader path of Fig. 1).
+  std::vector<graph::GraphSample> get_batch(
+      std::span<const std::uint64_t> ids);
+
+  /// Collective epoch boundary over the replica group (MPI_Win_fence).
+  void fence() { window_->fence(); }
+
+  const DDStoreStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DDStoreStats{}; }
+
+  simmpi::Comm& group() { return group_; }
+  const DataRegistry& registry() const { return *registry_; }
+
+  /// Diagnostics: the RMA region a group member exposes.
+  const void* window_region(int target) const {
+    return window_->region_data(target);
+  }
+  std::size_t window_size(int target) const { return window_->size_of(target); }
+
+ private:
+  void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
+                  bool lock_amortized = false);
+
+  simmpi::Comm comm_;    ///< the full training communicator
+  simmpi::Comm group_;   ///< this rank's replica group
+  int width_;
+  DDStoreConfig config_;
+  std::uint64_t nominal_sample_bytes_;
+  formats::DecodeCost decode_;
+
+  std::shared_ptr<const ByteBuffer> chunk_;  ///< aliased across twin ranks
+  std::shared_ptr<const DataRegistry> registry_;
+  std::optional<simmpi::Window> window_;
+  DDStoreStats stats_;
+};
+
+}  // namespace dds::core

@@ -1,0 +1,94 @@
+#include "core/registry.hpp"
+
+#include <numeric>
+
+namespace dds::core {
+
+int ChunkAssignment::owner_of(std::uint64_t id) const {
+  DDS_CHECK_MSG(id < num_samples_, "sample id out of range");
+  if (placement_ == Placement::RoundRobin) {
+    return static_cast<int>(id % static_cast<std::uint64_t>(width_));
+  }
+  // Block: invert first(g) = floor(T*g/w).  The candidate floor(id*w/T) can
+  // be off by one because of integer rounding; fix up locally.
+  auto g = static_cast<int>(id * static_cast<std::uint64_t>(width_) /
+                            num_samples_);
+  if (g >= width_) g = width_ - 1;
+  while (g > 0 && id < block_first(g)) --g;
+  while (g + 1 < width_ && id >= block_first(g + 1)) ++g;
+  return g;
+}
+
+std::uint64_t ChunkAssignment::chunk_size(int g) const {
+  DDS_CHECK(g >= 0 && g < width_);
+  if (placement_ == Placement::RoundRobin) {
+    const auto w = static_cast<std::uint64_t>(width_);
+    return (num_samples_ - static_cast<std::uint64_t>(g) + w - 1) / w;
+  }
+  return block_first(g + 1 <= width_ - 1 ? g + 1 : width_) -
+         block_first(g);
+}
+
+std::vector<std::uint64_t> ChunkAssignment::ids_of(int g) const {
+  DDS_CHECK(g >= 0 && g < width_);
+  std::vector<std::uint64_t> ids;
+  if (placement_ == Placement::RoundRobin) {
+    ids.reserve(chunk_size(g));
+    for (std::uint64_t id = static_cast<std::uint64_t>(g); id < num_samples_;
+         id += static_cast<std::uint64_t>(width_)) {
+      ids.push_back(id);
+    }
+  } else {
+    const std::uint64_t first = block_first(g);
+    const std::uint64_t last =
+        g == width_ - 1 ? num_samples_ : block_first(g + 1);
+    ids.reserve(last - first);
+    for (std::uint64_t id = first; id < last; ++id) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::uint64_t ChunkAssignment::local_index(std::uint64_t id) const {
+  if (placement_ == Placement::RoundRobin) {
+    return id / static_cast<std::uint64_t>(width_);
+  }
+  return id - block_first(owner_of(id));
+}
+
+std::shared_ptr<DataRegistry> DataRegistry::build(
+    const ChunkAssignment& assignment,
+    std::span<const std::uint32_t> lengths_by_owner_order,
+    std::span<const std::size_t> counts) {
+  DDS_CHECK(static_cast<int>(counts.size()) == assignment.width());
+  const std::size_t total =
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  DDS_CHECK(total == assignment.num_samples());
+  DDS_CHECK(lengths_by_owner_order.size() == total);
+
+  auto reg = std::make_shared<DataRegistry>();
+  reg->entries_.resize(assignment.num_samples());
+  reg->chunk_bytes_.assign(static_cast<std::size_t>(assignment.width()), 0);
+
+  std::size_t cursor = 0;
+  for (int g = 0; g < assignment.width(); ++g) {
+    const auto ids = assignment.ids_of(g);
+    DDS_CHECK_MSG(ids.size() == counts[static_cast<std::size_t>(g)],
+                  "length counts disagree with placement");
+    std::uint64_t offset = 0;
+    for (const std::uint64_t id : ids) {
+      const std::uint32_t len = lengths_by_owner_order[cursor++];
+      reg->entries_[id] = Entry{offset, len, static_cast<std::uint32_t>(g)};
+      offset += len;
+    }
+    reg->chunk_bytes_[static_cast<std::size_t>(g)] = offset;
+  }
+  return reg;
+}
+
+std::uint64_t DataRegistry::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto b : chunk_bytes_) total += b;
+  return total;
+}
+
+}  // namespace dds::core

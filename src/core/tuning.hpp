@@ -1,0 +1,37 @@
+// Width selection helper (§4.6: "The width is configurable so that a user
+// can tune").
+//
+// Memory per rank is dataset_bytes / width; smaller widths mean more
+// replicas (lower fetch latency, Fig. 12) but more memory.  The advised
+// width is the smallest divisor of the rank count whose per-rank chunk
+// fits the memory budget — i.e. the most replication affordable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dds::core {
+
+inline int suggest_width(std::uint64_t dataset_bytes,
+                         std::uint64_t memory_budget_per_rank, int nranks) {
+  DDS_CHECK(nranks >= 1);
+  if (memory_budget_per_rank == 0) {
+    throw ConfigError("suggest_width: zero memory budget");
+  }
+  // Need dataset_bytes / width <= budget, i.e. width >= ceil(bytes/budget).
+  const std::uint64_t min_width =
+      (dataset_bytes + memory_budget_per_rank - 1) / memory_budget_per_rank;
+  if (min_width > static_cast<std::uint64_t>(nranks)) {
+    throw ConfigError(
+        "suggest_width: dataset does not fit even with a single replica "
+        "striped over all ranks");
+  }
+  for (int w = 1; w <= nranks; ++w) {
+    if (nranks % w != 0) continue;
+    if (static_cast<std::uint64_t>(w) >= min_width) return w;
+  }
+  return nranks;  // unreachable: nranks itself always qualifies
+}
+
+}  // namespace dds::core

@@ -1,0 +1,53 @@
+// Synthetic dataset interface.
+//
+// A SyntheticDataset produces sample `i` deterministically from (seed, i),
+// so any rank can materialize exactly its own chunk without a global pass —
+// the property that lets benches simulate multi-million-sample datasets at
+// a scaled-down count while every rank/test sees identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "datagen/spec.hpp"
+#include "graph/sample.hpp"
+
+namespace dds::datagen {
+
+class SyntheticDataset {
+ public:
+  SyntheticDataset(DatasetSpec spec, std::uint64_t num_graphs,
+                   std::uint64_t seed)
+      : spec_(std::move(spec)), num_graphs_(num_graphs), seed_(seed) {
+    DDS_CHECK_MSG(num_graphs > 0, "dataset must have at least one sample");
+  }
+  virtual ~SyntheticDataset() = default;
+
+  SyntheticDataset(const SyntheticDataset&) = delete;
+  SyntheticDataset& operator=(const SyntheticDataset&) = delete;
+
+  /// Deterministically generates sample `index` (0 <= index < size()).
+  virtual graph::GraphSample make(std::uint64_t index) const = 0;
+
+  std::uint64_t size() const { return num_graphs_; }
+  const DatasetSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+ protected:
+  /// Per-sample RNG stream: independent of every other sample's stream.
+  Rng sample_rng(std::uint64_t index) const {
+    return Rng(seed_).stream(index);
+  }
+
+  DatasetSpec spec_;
+  std::uint64_t num_graphs_;
+  std::uint64_t seed_;
+};
+
+/// Creates the generator for `kind` with `num_graphs` scaled-down samples.
+std::unique_ptr<SyntheticDataset> make_dataset(DatasetKind kind,
+                                               std::uint64_t num_graphs,
+                                               std::uint64_t seed);
+
+}  // namespace dds::datagen

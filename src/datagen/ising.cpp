@@ -1,0 +1,84 @@
+#include "datagen/ising.hpp"
+
+namespace dds::datagen {
+
+IsingDataset::IsingDataset(std::uint64_t num_graphs, std::uint64_t seed,
+                           std::uint32_t lattice, double coupling_j)
+    : SyntheticDataset(dataset_spec(DatasetKind::Ising), num_graphs, seed),
+      lattice_(lattice),
+      coupling_j_(coupling_j) {
+  DDS_CHECK(lattice >= 2);
+}
+
+double IsingDataset::energy(const std::vector<float>& spins) const {
+  const std::uint32_t L = lattice_;
+  DDS_CHECK(spins.size() == static_cast<std::size_t>(L) * L * L);
+  double e = 0.0;
+  for (std::uint32_t x = 0; x < L; ++x) {
+    for (std::uint32_t y = 0; y < L; ++y) {
+      for (std::uint32_t z = 0; z < L; ++z) {
+        const double s = spins[site(x, y, z)];
+        // Count each undirected bond once: +x, +y, +z neighbours (periodic).
+        e += s * spins[site((x + 1) % L, y, z)];
+        e += s * spins[site(x, (y + 1) % L, z)];
+        e += s * spins[site(x, y, (z + 1) % L)];
+      }
+    }
+  }
+  const double bonds = 3.0 * L * L * L;
+  return -coupling_j_ * e / bonds;  // normalized per bond, in [-1, 1]
+}
+
+graph::GraphSample IsingDataset::make(std::uint64_t index) const {
+  DDS_CHECK_MSG(index < num_graphs_, "sample index out of range");
+  Rng rng = sample_rng(index);
+  const std::uint32_t L = lattice_;
+  const std::uint32_t n = L * L * L;
+
+  graph::GraphSample s;
+  s.id = index;
+  s.num_nodes = n;
+  s.node_feature_dim = 2;  // (spin, constant bias channel)
+  s.node_features.resize(static_cast<std::size_t>(n) * 2);
+  s.positions.resize(static_cast<std::size_t>(n) * 3);
+
+  std::vector<float> spins(n);
+  for (std::uint32_t x = 0; x < L; ++x) {
+    for (std::uint32_t y = 0; y < L; ++y) {
+      for (std::uint32_t z = 0; z < L; ++z) {
+        const std::uint32_t i = site(x, y, z);
+        spins[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        s.node_features[2 * i] = spins[i];
+        s.node_features[2 * i + 1] = 1.0f;
+        s.positions[3 * i + 0] = static_cast<float>(x) / L;
+        s.positions[3 * i + 1] = static_cast<float>(y) / L;
+        s.positions[3 * i + 2] = static_cast<float>(z) / L;
+      }
+    }
+  }
+
+  // Nearest-neighbour bonds with periodic boundary; both directions stored.
+  s.edge_src.reserve(static_cast<std::size_t>(n) * 6);
+  s.edge_dst.reserve(static_cast<std::size_t>(n) * 6);
+  auto add_bond = [&](std::uint32_t a, std::uint32_t b) {
+    s.edge_src.push_back(a);
+    s.edge_dst.push_back(b);
+    s.edge_src.push_back(b);
+    s.edge_dst.push_back(a);
+  };
+  for (std::uint32_t x = 0; x < L; ++x) {
+    for (std::uint32_t y = 0; y < L; ++y) {
+      for (std::uint32_t z = 0; z < L; ++z) {
+        const std::uint32_t i = site(x, y, z);
+        add_bond(i, site((x + 1) % L, y, z));
+        add_bond(i, site(x, (y + 1) % L, z));
+        add_bond(i, site(x, y, (z + 1) % L));
+      }
+    }
+  }
+
+  s.y = {static_cast<float>(energy(spins))};
+  return s;
+}
+
+}  // namespace dds::datagen

@@ -1,0 +1,234 @@
+#include "datagen/molecule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dds::datagen {
+
+double Molecule::hetero_fraction() const {
+  if (atom_type.empty()) return 0.0;
+  std::size_t hetero = 0;
+  for (auto t : atom_type) hetero += (t != 0);
+  return static_cast<double>(hetero) / static_cast<double>(atom_type.size());
+}
+
+Molecule generate_molecule(Rng& rng) {
+  Molecule mol;
+  // Size distribution skewed toward larger molecules: mean ~49 atoms,
+  // close to the AISD average of 52.4 nodes/graph (Table 1).
+  const auto n = static_cast<std::uint32_t>(
+      kMinHeavyAtoms +
+      std::floor((kMaxHeavyAtoms - kMinHeavyAtoms) * std::sqrt(rng.uniform())));
+  mol.atom_type.resize(n);
+  mol.positions.resize(static_cast<std::size_t>(n) * 3);
+
+  // Element distribution: organic chemistry is carbon-dominated.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.70) {
+      mol.atom_type[i] = 0;  // C
+    } else if (u < 0.82) {
+      mol.atom_type[i] = 1;  // N
+    } else if (u < 0.93) {
+      mol.atom_type[i] = 2;  // O
+    } else if (u < 0.97) {
+      mol.atom_type[i] = 3;  // F
+    } else {
+      mol.atom_type[i] = 4;  // S
+    }
+  }
+
+  // Topology: random tree (chain-biased, like fused organic skeletons)
+  // plus a few ring-closing bonds.
+  std::vector<std::uint32_t> degree(n, 0);
+  mol.bond_a.reserve(n + n / 8);
+  mol.bond_b.reserve(n + n / 8);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    // Attach to a recent atom with high probability (chain bias), else
+    // uniformly to any earlier atom (branch).
+    std::uint32_t parent;
+    if (rng.bernoulli(0.7) || i == 1) {
+      parent = i - 1;
+    } else {
+      parent = static_cast<std::uint32_t>(rng.uniform_u64(i));
+    }
+    if (degree[parent] >= 4) parent = i - 1;  // valence cap fallback
+    mol.bond_a.push_back(parent);
+    mol.bond_b.push_back(i);
+    ++degree[parent];
+    ++degree[i];
+  }
+  // Ring closures: ~1 ring per 12 atoms.
+  const auto rings = static_cast<std::uint32_t>(n / 12);
+  for (std::uint32_t r = 0; r < rings; ++r) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    const auto span = 3 + rng.uniform_u64(4);  // rings of size 4-7
+    const auto b = static_cast<std::uint32_t>((a + span) % n);
+    if (a == b || degree[a] >= 4 || degree[b] >= 4) continue;
+    mol.bond_a.push_back(std::min(a, b));
+    mol.bond_b.push_back(std::max(a, b));
+    ++degree[a];
+    ++degree[b];
+    ++mol.ring_count;
+  }
+
+  // Positions: self-avoiding-ish random walk along the tree order.
+  float x = 0, y = 0, z = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mol.positions[3 * i + 0] = x;
+    mol.positions[3 * i + 1] = y;
+    mol.positions[3 * i + 2] = z;
+    x += static_cast<float>(rng.normal(0.9, 0.3));
+    y += static_cast<float>(rng.normal(0.0, 0.8));
+    z += static_cast<float>(rng.normal(0.0, 0.8));
+  }
+  return mol;
+}
+
+graph::GraphSample molecule_to_sample(const Molecule& mol, std::uint64_t id) {
+  graph::GraphSample s;
+  s.id = id;
+  const std::uint32_t n = mol.num_atoms();
+  s.num_nodes = n;
+  s.node_feature_dim = kMoleculeFeatureDim;
+  s.node_features.assign(static_cast<std::size_t>(n) * kMoleculeFeatureDim,
+                         0.0f);
+  s.positions = mol.positions;
+
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::size_t b = 0; b < mol.bond_a.size(); ++b) {
+    ++degree[mol.bond_a[b]];
+    ++degree[mol.bond_b[b]];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.node_features[static_cast<std::size_t>(i) * kMoleculeFeatureDim +
+                    mol.atom_type[i]] = 1.0f;
+    s.node_features[static_cast<std::size_t>(i) * kMoleculeFeatureDim + 5] =
+        static_cast<float>(degree[i]) / 4.0f;
+  }
+
+  s.edge_src.reserve(mol.bond_a.size() * 2);
+  s.edge_dst.reserve(mol.bond_a.size() * 2);
+  for (std::size_t b = 0; b < mol.bond_a.size(); ++b) {
+    s.edge_src.push_back(mol.bond_a[b]);
+    s.edge_dst.push_back(mol.bond_b[b]);
+    s.edge_src.push_back(mol.bond_b[b]);
+    s.edge_dst.push_back(mol.bond_a[b]);
+  }
+  return s;
+}
+
+double homo_lumo_gap(const Molecule& mol, Rng& rng) {
+  const double n = mol.num_atoms();
+  const double hetero = mol.hetero_fraction();
+  const double rings_per_atom = mol.ring_count / n;
+  // Larger conjugated systems have smaller gaps; heteroatoms widen it
+  // slightly; rings (conjugation) narrow it.  Range roughly 1-6 eV.
+  double gap = 1.2 + 3.6 * std::exp(-n / 35.0) + 1.1 * hetero -
+               4.0 * rings_per_atom;
+  gap += 0.08 * rng.normal();  // residual "DFT noise"
+  return std::max(0.3, gap);
+}
+
+void uv_peaks(const Molecule& mol, Rng& rng, std::vector<float>& positions,
+              std::vector<float>& intensities) {
+  const double n = mol.num_atoms();
+  const double hetero = mol.hetero_fraction();
+  // Absorption onset shifts red (toward 1.0) for larger molecules.
+  const double onset = 0.15 + 0.5 * (1.0 - std::exp(-n / 40.0));
+  positions.resize(kNumUvPeaks);
+  intensities.resize(kNumUvPeaks);
+  for (std::uint32_t k = 0; k < kNumUvPeaks; ++k) {
+    const double frac = static_cast<double>(k) / kNumUvPeaks;
+    double pos = onset + 0.8 * (1.0 - onset) * frac + 0.03 * hetero +
+                 0.01 * rng.normal();
+    positions[k] = static_cast<float>(std::clamp(pos, 0.0, 1.0));
+    const double inten =
+        std::exp(-frac * 3.0) * (0.5 + 0.5 * hetero) *
+        (1.0 + 0.15 * rng.normal());
+    intensities[k] = static_cast<float>(std::max(0.0, inten));
+  }
+  std::sort(positions.begin(), positions.end());
+}
+
+std::vector<float> smooth_spectrum(const std::vector<float>& positions,
+                                   const std::vector<float>& intensities,
+                                   std::uint32_t bins, double sigma) {
+  DDS_CHECK(positions.size() == intensities.size());
+  DDS_CHECK(bins >= 2);
+  DDS_CHECK(sigma > 0.0);
+  std::vector<float> spectrum(bins, 0.0f);
+  const double dx = 1.0 / (bins - 1);
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+  // Only bins within 4 sigma of a peak receive non-negligible weight.
+  const auto radius = static_cast<std::int64_t>(std::ceil(4.0 * sigma / dx));
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    const auto center = static_cast<std::int64_t>(positions[k] / dx);
+    const auto lo = std::max<std::int64_t>(0, center - radius);
+    const auto hi =
+        std::min<std::int64_t>(static_cast<std::int64_t>(bins) - 1,
+                               center + radius);
+    for (std::int64_t b = lo; b <= hi; ++b) {
+      const double x = b * dx - positions[k];
+      spectrum[static_cast<std::size_t>(b)] += static_cast<float>(
+          intensities[k] * std::exp(-x * x * inv_two_sigma2));
+    }
+  }
+  return spectrum;
+}
+
+// ---- dataset classes --------------------------------------------------------
+
+HomoLumoDataset::HomoLumoDataset(std::uint64_t num_graphs, std::uint64_t seed)
+    : SyntheticDataset(dataset_spec(DatasetKind::AisdHomoLumo), num_graphs,
+                       seed) {}
+
+graph::GraphSample HomoLumoDataset::make(std::uint64_t index) const {
+  DDS_CHECK_MSG(index < num_graphs_, "sample index out of range");
+  Rng rng = sample_rng(index);
+  const Molecule mol = generate_molecule(rng);
+  graph::GraphSample s = molecule_to_sample(mol, index);
+  s.y = {static_cast<float>(homo_lumo_gap(mol, rng))};
+  return s;
+}
+
+UvVisDiscreteDataset::UvVisDiscreteDataset(std::uint64_t num_graphs,
+                                           std::uint64_t seed)
+    : SyntheticDataset(dataset_spec(DatasetKind::AisdExDiscrete), num_graphs,
+                       seed) {}
+
+graph::GraphSample UvVisDiscreteDataset::make(std::uint64_t index) const {
+  DDS_CHECK_MSG(index < num_graphs_, "sample index out of range");
+  Rng rng = sample_rng(index);
+  const Molecule mol = generate_molecule(rng);
+  graph::GraphSample s = molecule_to_sample(mol, index);
+  std::vector<float> pos, inten;
+  uv_peaks(mol, rng, pos, inten);
+  s.y.reserve(2 * kNumUvPeaks);
+  s.y.insert(s.y.end(), pos.begin(), pos.end());
+  s.y.insert(s.y.end(), inten.begin(), inten.end());
+  return s;
+}
+
+UvVisSmoothDataset::UvVisSmoothDataset(std::uint64_t num_graphs,
+                                       std::uint64_t seed, DatasetKind kind,
+                                       std::uint32_t actual_bins)
+    : SyntheticDataset(dataset_spec(kind), num_graphs, seed),
+      bins_(actual_bins) {
+  DDS_CHECK_MSG(kind == DatasetKind::AisdExSmooth ||
+                    kind == DatasetKind::AisdExSmoothSmall,
+                "UvVisSmoothDataset requires a smooth dataset kind");
+}
+
+graph::GraphSample UvVisSmoothDataset::make(std::uint64_t index) const {
+  DDS_CHECK_MSG(index < num_graphs_, "sample index out of range");
+  Rng rng = sample_rng(index);
+  const Molecule mol = generate_molecule(rng);
+  graph::GraphSample s = molecule_to_sample(mol, index);
+  std::vector<float> pos, inten;
+  uv_peaks(mol, rng, pos, inten);
+  s.y = smooth_spectrum(pos, inten, bins_, /*sigma=*/0.01);
+  return s;
+}
+
+}  // namespace dds::datagen

@@ -1,0 +1,63 @@
+#include "datagen/spec.hpp"
+
+namespace dds::datagen {
+
+DatasetSpec dataset_spec(DatasetKind kind) {
+  // Values transcribed from Table 1 of the paper (counts in raw units,
+  // file sizes in decimal bytes).
+  switch (kind) {
+    case DatasetKind::Ising:
+      return DatasetSpec{kind,
+                         "Ising",
+                         1'200'000,
+                         151'000'000,
+                         840'000'000,
+                         24'000'000'000ULL,
+                         19'000'000'000ULL,
+                         /*feature_count=*/3584,
+                         /*target_dim=*/1};
+    case DatasetKind::AisdHomoLumo:
+      return DatasetSpec{kind,
+                         "AISD HOMO-LUMO",
+                         10'500'000,
+                         550'600'000,
+                         1'100'000'000,
+                         90'000'000'000ULL,
+                         60'000'000'000ULL,
+                         /*feature_count=*/1,
+                         /*target_dim=*/1};
+    case DatasetKind::AisdExDiscrete:
+      return DatasetSpec{kind,
+                         "AISD-Ex (Discrete)",
+                         10'500'000,
+                         550'600'000,
+                         1'100'000'000,
+                         83'000'000'000ULL,
+                         64'000'000'000ULL,
+                         /*feature_count=*/100,  // 2x50 peaks+intensities
+                         /*target_dim=*/100};
+    case DatasetKind::AisdExSmooth:
+      return DatasetSpec{kind,
+                         "AISD-Ex (Smooth)",
+                         10'500'000,
+                         550'600'000,
+                         1'100'000'000,
+                         1'600'000'000'000ULL,
+                         1'500'000'000'000ULL,
+                         /*feature_count=*/37'500,
+                         /*target_dim=*/37'500};
+    case DatasetKind::AisdExSmoothSmall:
+      return DatasetSpec{kind,
+                         "AISD-Ex (Smooth & Small)",
+                         10'500'000,
+                         550'600'000,
+                         1'100'000'000,
+                         114'000'000'000ULL,
+                         74'000'000'000ULL,
+                         /*feature_count=*/351,
+                         /*target_dim=*/351};
+  }
+  throw ConfigError("unknown DatasetKind");
+}
+
+}  // namespace dds::datagen

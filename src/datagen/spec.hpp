@@ -1,0 +1,70 @@
+// Dataset specifications mirroring the paper's Table 1.
+//
+// Each spec carries the *full-scale* statistics (graph count, file sizes on
+// Summit/Perlmutter) and derives nominal per-sample byte sizes from them.
+// Generated runs use a scaled-down `num_graphs`, but formats stamp the
+// nominal sizes onto the simulated filesystem so the cost model behaves as
+// if the full dataset were on disk (see DESIGN.md, "Nominal vs actual").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dds::datagen {
+
+enum class DatasetKind {
+  Ising,            ///< 1.2M synthetic 125-atom spin lattices, energy target
+  AisdHomoLumo,     ///< 10.5M organic molecules, HOMO-LUMO gap (1 value)
+  AisdExDiscrete,   ///< 10.5M molecules, 50 UV-vis peaks + intensities (2x50)
+  AisdExSmooth,     ///< 10.5M molecules, 37,500-bin smoothed spectrum
+  AisdExSmoothSmall ///< trimmed smooth variant (351 bins) used on Perlmutter
+};
+
+struct DatasetSpec {
+  DatasetKind kind;
+  std::string name;
+
+  // ---- full-scale statistics (paper's Table 1) -------------------------
+  std::uint64_t full_num_graphs;
+  std::uint64_t full_num_nodes;
+  std::uint64_t full_num_edges;
+  std::uint64_t full_pff_bytes;  ///< per-object file format total
+  std::uint64_t full_cff_bytes;  ///< containerized file format total
+  std::uint32_t feature_count;   ///< the table's "#Feature" column
+
+  std::uint32_t target_dim;      ///< output neurons in the HydraGNN head
+
+  // ---- derived ----------------------------------------------------------
+  double avg_nodes_per_graph() const {
+    return static_cast<double>(full_num_nodes) /
+           static_cast<double>(full_num_graphs);
+  }
+  double avg_edges_per_graph() const {
+    return static_cast<double>(full_num_edges) /
+           static_cast<double>(full_num_graphs);
+  }
+  /// Nominal on-disk bytes of one sample in each format.
+  std::uint64_t nominal_pff_sample_bytes() const {
+    return full_pff_bytes / full_num_graphs;
+  }
+  std::uint64_t nominal_cff_sample_bytes() const {
+    return full_cff_bytes / full_num_graphs;
+  }
+};
+
+/// Table 1 presets.
+DatasetSpec dataset_spec(DatasetKind kind);
+
+/// All five rows of Table 1, in paper order.
+inline constexpr DatasetKind kAllDatasetKinds[] = {
+    DatasetKind::Ising, DatasetKind::AisdHomoLumo, DatasetKind::AisdExDiscrete,
+    DatasetKind::AisdExSmooth, DatasetKind::AisdExSmoothSmall};
+
+/// The four datasets used in the performance figures (Figs. 4-6, Table 2).
+inline constexpr DatasetKind kPerfDatasetKinds[] = {
+    DatasetKind::Ising, DatasetKind::AisdHomoLumo, DatasetKind::AisdExDiscrete,
+    DatasetKind::AisdExSmooth};
+
+}  // namespace dds::datagen

@@ -1,0 +1,96 @@
+// Containerized file format (CFF): many samples per container subfile.
+//
+// Mirrors the paper's ADIOS baseline (§4.3): "ADIOS manages containerized
+// subfiles, each containing multiple data objects, as well as a data index
+// for easy retrieval".  Staging packs contiguous ranges of samples into
+// `nsubfiles` containers, each with a header and per-sample offset/length
+// index.  Random sample reads hit the container at arbitrary offsets, so
+// every cache-missing access pays the random-read (seek) penalty and pulls
+// a whole FS block — the read amplification that makes CFF slower than PFF
+// on the large AISD datasets in the paper's Table 2.
+//
+// Subfile layout (little-endian):
+//   u32 magic | u16 version | u64 count | u64 first_global_index
+//   count x { u64 offset, u64 length }        (offsets from file start)
+//   sample blobs
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "formats/reader.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace dds::formats {
+
+class CffWriter {
+ public:
+  /// Stages `dataset` into `nsubfiles` containers under `prefix/`.
+  static void stage(fs::ParallelFileSystem& fs, const std::string& prefix,
+                    const datagen::SyntheticDataset& dataset,
+                    std::uint32_t nsubfiles = 1);
+
+  /// Collective staging: every rank of `comm` generates and writes its own
+  /// subfile (one per rank, holding its contiguous block of samples) —
+  /// how the paper's datasets were produced by parallel workflows.  The
+  /// write is timed against the FS write path via `client`.
+  static void stage_parallel(simmpi::Comm& comm, fs::FsClient& client,
+                             fs::ParallelFileSystem& fs,
+                             const std::string& prefix,
+                             const datagen::SyntheticDataset& dataset);
+
+  static std::string subfile_path(const std::string& prefix,
+                                  std::uint32_t subfile);
+
+ private:
+  static ByteBuffer build_subfile(const datagen::SyntheticDataset& dataset,
+                                  std::uint64_t first, std::uint64_t last);
+};
+
+class CffReader final : public SampleReader {
+ public:
+  /// Parses the container indexes (real bytes, untimed — the per-rank
+  /// startup cost is charged explicitly via charge_startup()).
+  CffReader(fs::ParallelFileSystem& fs, std::string prefix,
+            std::uint64_t nominal_sample_bytes,
+            DecodeCost decode = DecodeCost::adios());
+
+  /// Charges one rank's startup: an open per subfile plus a sequential
+  /// read of each index region.
+  void charge_startup(fs::FsClient& client) const;
+
+  std::uint64_t num_samples() const override { return total_samples_; }
+  ByteBuffer read_bytes(std::uint64_t index,
+                        fs::FsClient& client) const override;
+
+  ByteBuffer read_bytes_raw(std::uint64_t index) const override;
+  graph::GraphSample read(std::uint64_t index,
+                          fs::FsClient& client) const override;
+  std::uint64_t nominal_sample_bytes() const override {
+    return nominal_sample_bytes_;
+  }
+  std::uint32_t num_subfiles() const {
+    return static_cast<std::uint32_t>(subfiles_.size());
+  }
+
+ private:
+  struct Subfile {
+    std::string path;
+    fs::FileRef ref;
+    std::uint64_t first_index;
+    std::vector<std::uint64_t> offsets;
+    std::vector<std::uint64_t> lengths;
+    std::uint64_t index_region_bytes;
+  };
+
+  const Subfile& locate(std::uint64_t index, std::uint64_t* local) const;
+
+  std::string prefix_;
+  std::vector<Subfile> subfiles_;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t nominal_sample_bytes_;
+  DecodeCost decode_;
+};
+
+}  // namespace dds::formats

@@ -1,0 +1,157 @@
+#include "formats/h5f.hpp"
+
+namespace dds::formats {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4c35'4844;  // "DH5L"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+void H5fWriter::stage(fs::ParallelFileSystem& fs, const std::string& path,
+                      const datagen::SyntheticDataset& dataset,
+                      std::uint32_t samples_per_chunk) {
+  DDS_CHECK(samples_per_chunk >= 1);
+  const std::uint64_t n = dataset.size();
+  const std::uint64_t num_chunks =
+      (n + samples_per_chunk - 1) / samples_per_chunk;
+
+  // Serialize chunk payloads first to learn their sizes.
+  std::vector<ByteBuffer> chunks;
+  std::vector<std::uint64_t> first_sample;
+  chunks.reserve(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    const std::uint64_t first = c * samples_per_chunk;
+    const std::uint64_t last = std::min(n, first + samples_per_chunk);
+    std::vector<ByteBuffer> blobs;
+    for (std::uint64_t i = first; i < last; ++i) {
+      blobs.push_back(dataset.make(i).to_bytes());
+    }
+    ByteBuffer chunk;
+    BinaryWriter w(chunk);
+    w.write<std::uint32_t>(static_cast<std::uint32_t>(blobs.size()));
+    std::uint64_t rel = sizeof(std::uint32_t) +
+                        blobs.size() * 2 * sizeof(std::uint64_t);
+    for (const auto& b : blobs) {
+      w.write<std::uint64_t>(rel);
+      w.write<std::uint64_t>(b.size());
+      rel += b.size();
+    }
+    for (const auto& b : blobs) w.write_bytes(ByteSpan(b));
+    chunks.push_back(std::move(chunk));
+    first_sample.push_back(first);
+  }
+
+  ByteBuffer file;
+  BinaryWriter w(file);
+  w.write(kMagic);
+  w.write(kVersion);
+  w.write(samples_per_chunk);
+  w.write(n);
+  w.write(num_chunks);
+  std::uint64_t offset = file.size() + num_chunks * 3 * sizeof(std::uint64_t);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    w.write<std::uint64_t>(offset);
+    w.write<std::uint64_t>(chunks[c].size());
+    w.write<std::uint64_t>(first_sample[c]);
+    offset += chunks[c].size();
+  }
+  for (const auto& chunk : chunks) w.write_bytes(ByteSpan(chunk));
+
+  const std::uint64_t nominal = std::max<std::uint64_t>(
+      dataset.spec().nominal_cff_sample_bytes() * n, file.size());
+  fs.write_file(path, ByteSpan(file), nominal);
+}
+
+H5fReader::H5fReader(fs::ParallelFileSystem& fs, std::string path,
+                     std::uint64_t nominal_sample_bytes, DecodeCost decode)
+    : path_(std::move(path)),
+      nominal_sample_bytes_(nominal_sample_bytes),
+      decode_(decode) {
+  const ByteBuffer raw = fs.read_file_raw(path_);
+  ref_ = fs.make_ref(path_);
+  BinaryReader r{ByteSpan(raw)};
+  if (r.read<std::uint32_t>() != kMagic) {
+    throw DataError("H5fReader: bad magic in " + path_);
+  }
+  if (r.read<std::uint16_t>() != kVersion) {
+    throw DataError("H5fReader: unsupported version in " + path_);
+  }
+  samples_per_chunk_ = r.read<std::uint32_t>();
+  num_samples_ = r.read<std::uint64_t>();
+  const auto num_chunks = r.read<std::uint64_t>();
+  chunk_offset_.reserve(num_chunks);
+  chunk_length_.reserve(num_chunks);
+  chunk_first_.reserve(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    chunk_offset_.push_back(r.read<std::uint64_t>());
+    chunk_length_.push_back(r.read<std::uint64_t>());
+    chunk_first_.push_back(r.read<std::uint64_t>());
+    if (chunk_offset_[c] + chunk_length_[c] > raw.size()) {
+      throw DataError("H5fReader: corrupt chunk index in " + path_);
+    }
+  }
+  // Parse per-chunk sample tables.
+  sample_offset_.assign(num_samples_, 0);
+  sample_length_.assign(num_samples_, 0);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    BinaryReader cr{ByteSpan(raw.data() + chunk_offset_[c],
+                             chunk_length_[c])};
+    const auto count = cr.read<std::uint32_t>();
+    if (chunk_first_[c] + count > num_samples_) {
+      throw DataError("H5fReader: chunk overruns sample table in " + path_);
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto rel = cr.read<std::uint64_t>();
+      const auto len = cr.read<std::uint64_t>();
+      if (rel + len > chunk_length_[c]) {
+        throw DataError("H5fReader: corrupt sample entry in " + path_);
+      }
+      sample_offset_[chunk_first_[c] + i] = chunk_offset_[c] + rel;
+      sample_length_[chunk_first_[c] + i] = len;
+    }
+  }
+  for (std::uint64_t i = 0; i < num_samples_; ++i) {
+    if (sample_length_[i] == 0) {
+      throw DataError("H5fReader: sample " + std::to_string(i) +
+                      " missing from every chunk");
+    }
+  }
+}
+
+H5fReader::SampleLoc H5fReader::locate(std::uint64_t index) const {
+  if (index >= num_samples_) {
+    throw ConfigError("H5fReader: sample index out of range");
+  }
+  return SampleLoc{index / samples_per_chunk_, sample_offset_[index],
+                   sample_length_[index]};
+}
+
+ByteBuffer H5fReader::read_bytes(std::uint64_t index,
+                                 fs::FsClient& client) const {
+  const SampleLoc loc = locate(index);
+  // HDF5 chunked I/O: the WHOLE chunk moves through the library; we read
+  // it (timed, random access) and slice the requested sample out.
+  ByteBuffer chunk(chunk_length_[loc.chunk]);
+  client.pread(ref_, MutableByteSpan(chunk), chunk_offset_[loc.chunk],
+               /*sequential=*/false);
+  const std::uint64_t rel = loc.abs_offset - chunk_offset_[loc.chunk];
+  return ByteBuffer(chunk.begin() + static_cast<std::ptrdiff_t>(rel),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(rel +
+                                                                loc.length));
+}
+
+ByteBuffer H5fReader::read_bytes_raw(std::uint64_t index) const {
+  const SampleLoc loc = locate(index);
+  DDS_CHECK(ref_.payload != nullptr);
+  const auto* base = ref_.payload->data() + loc.abs_offset;
+  return ByteBuffer(base, base + loc.length);
+}
+
+graph::GraphSample H5fReader::read(std::uint64_t index,
+                                   fs::FsClient& client) const {
+  const ByteBuffer bytes = read_bytes(index, client);
+  decode_.charge(client.clock(), nominal_sample_bytes_);
+  return graph::GraphSample::deserialize(bytes);
+}
+
+}  // namespace dds::formats

@@ -1,0 +1,74 @@
+// HDF5-style chunked container format ("H5F-lite").
+//
+// The paper's CFF category cites both ADIOS and HDF5 (§2.3).  The ADIOS
+// flavour (cff.hpp) indexes individual samples; HDF5's chunked datasets
+// instead group samples into fixed-count *chunks* that are read (and run
+// through the filter pipeline) as a unit — a random sample read pulls its
+// whole chunk.  That changes the I/O trade-off: more amplification per
+// cold read, but neighbours arrive for free once the chunk is cached.
+// bench_ablation_formats measures the difference.
+//
+// Container layout (little-endian, one file):
+//   u32 magic | u16 version | u32 samples_per_chunk | u64 num_samples
+//   u64 num_chunks
+//   num_chunks x { u64 offset, u64 length, u64 first_sample }
+//   chunks: each = count x { u64 rel_offset, u64 len } followed by blobs
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "formats/reader.hpp"
+
+namespace dds::formats {
+
+class H5fWriter {
+ public:
+  static void stage(fs::ParallelFileSystem& fs, const std::string& path,
+                    const datagen::SyntheticDataset& dataset,
+                    std::uint32_t samples_per_chunk = 32);
+};
+
+class H5fReader final : public SampleReader {
+ public:
+  H5fReader(fs::ParallelFileSystem& fs, std::string path,
+            std::uint64_t nominal_sample_bytes,
+            DecodeCost decode = DecodeCost::adios());
+
+  std::uint64_t num_samples() const override { return num_samples_; }
+  ByteBuffer read_bytes(std::uint64_t index,
+                        fs::FsClient& client) const override;
+  ByteBuffer read_bytes_raw(std::uint64_t index) const override;
+  graph::GraphSample read(std::uint64_t index,
+                          fs::FsClient& client) const override;
+  std::uint64_t nominal_sample_bytes() const override {
+    return nominal_sample_bytes_;
+  }
+
+  std::uint32_t samples_per_chunk() const { return samples_per_chunk_; }
+  std::uint64_t num_chunks() const { return chunk_offset_.size(); }
+
+ private:
+  struct SampleLoc {
+    std::uint64_t chunk;
+    std::uint64_t abs_offset;  ///< from file start
+    std::uint64_t length;
+  };
+  SampleLoc locate(std::uint64_t index) const;
+
+  std::string path_;
+  fs::FileRef ref_;
+  std::uint32_t samples_per_chunk_ = 0;
+  std::uint64_t num_samples_ = 0;
+  std::uint64_t nominal_sample_bytes_;
+  DecodeCost decode_;
+  std::vector<std::uint64_t> chunk_offset_;
+  std::vector<std::uint64_t> chunk_length_;
+  std::vector<std::uint64_t> chunk_first_;
+  /// Per-sample absolute offsets/lengths, parsed once at construction.
+  std::vector<std::uint64_t> sample_offset_;
+  std::vector<std::uint64_t> sample_length_;
+};
+
+}  // namespace dds::formats

@@ -1,0 +1,60 @@
+// Sample-reader plugin interface (the paper's "DDStore provides plugins for
+// reading different data formats", §3.2).
+//
+// A SampleReader resolves sample index -> bytes through the simulated
+// filesystem, charging the calling rank's virtual clock.  PFF and CFF
+// implement it; DDStore's preloader consumes it; the PFF/CFF baselines in
+// the benchmarks ALSO use it directly as their per-batch loading path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "fs/parallel_fs.hpp"
+#include "graph/sample.hpp"
+
+namespace dds::formats {
+
+/// CPU cost of decoding one serialized sample into graph objects
+/// (the pickle/ADIOS deserialize step; dominated by per-call overhead).
+/// Defaults differ per format: Python pickle (PFF) pays heavy per-object
+/// overhead; ADIOS containers (CFF) decode a typed block; DDStore decodes
+/// an already-resident buffer.
+struct DecodeCost {
+  double fixed_s = 0.25e-3;
+  double bandwidth_Bps = 8e9;  ///< applied to nominal payload bytes
+
+  static DecodeCost pickle() { return {0.30e-3, 8e9}; }
+  static DecodeCost adios() { return {0.08e-3, 8e9}; }
+  static DecodeCost in_memory() { return {20e-6, 20e9}; }
+
+  void charge(model::VirtualClock& clock, std::uint64_t nominal_bytes) const {
+    clock.advance(fixed_s +
+                  static_cast<double>(nominal_bytes) / bandwidth_Bps);
+  }
+};
+
+class SampleReader {
+ public:
+  virtual ~SampleReader() = default;
+
+  virtual std::uint64_t num_samples() const = 0;
+
+  /// Timed read of the serialized bytes of sample `index` via `client`.
+  virtual ByteBuffer read_bytes(std::uint64_t index,
+                                fs::FsClient& client) const = 0;
+
+  /// Untimed data-plane read (verification, re-staging, and tiers that do
+  /// their own timing, e.g. the NVMe burst buffer).
+  virtual ByteBuffer read_bytes_raw(std::uint64_t index) const = 0;
+
+  /// Timed read + decode of sample `index`.
+  virtual graph::GraphSample read(std::uint64_t index,
+                                  fs::FsClient& client) const = 0;
+
+  /// Nominal (paper-scale) serialized size of one sample, for cost models.
+  virtual std::uint64_t nominal_sample_bytes() const = 0;
+};
+
+}  // namespace dds::formats

@@ -1,0 +1,65 @@
+#include "gnn/linear.hpp"
+
+#include <cmath>
+
+namespace dds::gnn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      w_(out, in),
+      dw_(out, in),
+      b_(out, 0.0f),
+      db_(out, 0.0f) {
+  // Kaiming-uniform initialization for ReLU networks.
+  const float bound = std::sqrt(6.0f / static_cast<float>(in));
+  for (auto& x : w_.v) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  cached_x_ = x;
+  return linear_forward(x, w_, b_);
+}
+
+Tensor Linear::backward(const Tensor& gout) {
+  DDS_CHECK(gout.rows == cached_x_.rows);
+  DDS_CHECK(gout.cols == w_.rows);
+  // dW[o,k] += sum_i gout[i,o] * x[i,k];  db[o] += sum_i gout[i,o]
+  for (std::size_t i = 0; i < gout.rows; ++i) {
+    const auto gi = gout.row(i);
+    const auto xi = cached_x_.row(i);
+    for (std::size_t o = 0; o < w_.rows; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      auto dwo = dw_.row(o);
+      for (std::size_t k = 0; k < w_.cols; ++k) dwo[k] += g * xi[k];
+      db_[o] += g;
+    }
+  }
+  // dx[i,k] = sum_o gout[i,o] * W[o,k]
+  Tensor dx(cached_x_.rows, cached_x_.cols);
+  for (std::size_t i = 0; i < gout.rows; ++i) {
+    const auto gi = gout.row(i);
+    auto dxi = dx.row(i);
+    for (std::size_t o = 0; o < w_.rows; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      const auto wo = w_.row(o);
+      for (std::size_t k = 0; k < w_.cols; ++k) dxi[k] += g * wo[k];
+    }
+  }
+  return dx;
+}
+
+void Linear::zero_grad() {
+  dw_.fill(0.0f);
+  std::fill(db_.begin(), db_.end(), 0.0f);
+}
+
+void Linear::collect_params(std::vector<Param>& out) {
+  out.push_back(Param{name_ + ".weight", &w_.v, &dw_.v});
+  out.push_back(Param{name_ + ".bias", &b_, &db_});
+}
+
+}  // namespace dds::gnn

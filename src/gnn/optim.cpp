@@ -1,0 +1,76 @@
+#include "gnn/optim.hpp"
+
+#include <cmath>
+
+namespace dds::gnn {
+
+AdamW::AdamW(std::vector<Param> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  DDS_CHECK(!params_.empty());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    DDS_CHECK(p.value->size() == p.grad->size());
+    m_.emplace_back(p.value->size(), 0.0f);
+    v_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    auto& value = *params_[p].value;
+    const auto& grad = *params_[p].grad;
+    auto& m = m_[p];
+    auto& v = v_[p];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      // Decoupled weight decay (the "W" in AdamW).
+      value[i] -= static_cast<float>(config_.lr * config_.weight_decay) *
+                  value[i];
+      const double g = grad[i];
+      m[i] = static_cast<float>(config_.beta1 * m[i] +
+                                (1.0 - config_.beta1) * g);
+      v[i] = static_cast<float>(config_.beta2 * v[i] +
+                                (1.0 - config_.beta2) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -= static_cast<float>(config_.lr * mhat /
+                                     (std::sqrt(vhat) + config_.eps));
+    }
+  }
+}
+
+ReduceLROnPlateau::ReduceLROnPlateau(AdamW& optimizer, double factor,
+                                     int patience, double threshold,
+                                     double min_lr)
+    : optimizer_(&optimizer),
+      factor_(factor),
+      patience_(patience),
+      threshold_(threshold),
+      min_lr_(min_lr) {
+  DDS_CHECK(factor > 0.0 && factor < 1.0);
+  DDS_CHECK(patience >= 0);
+}
+
+bool ReduceLROnPlateau::step(double metric) {
+  // "min" mode with relative threshold: improvement means
+  // metric < best * (1 - threshold).
+  if (metric < best_ * (1.0 - threshold_)) {
+    best_ = metric;
+    bad_epochs_ = 0;
+    return false;
+  }
+  ++bad_epochs_;
+  if (bad_epochs_ > patience_) {
+    const double new_lr =
+        std::max(min_lr_, optimizer_->lr() * factor_);
+    optimizer_->set_lr(new_lr);
+    bad_epochs_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dds::gnn

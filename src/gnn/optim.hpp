@@ -1,0 +1,63 @@
+// Optimizers and LR scheduling matching the paper's training setup (§4.2):
+// AdamW with PyTorch-default hyper-parameters and ReduceLROnPlateau driven
+// by the validation loss (initial LR 1e-3; the paper's Fig. 13 shows the
+// LR halving at epoch 26).
+#pragma once
+
+#include <vector>
+
+#include "gnn/linear.hpp"
+
+namespace dds::gnn {
+
+struct AdamWConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 1e-2;  // PyTorch AdamW default
+};
+
+class AdamW {
+ public:
+  AdamW(std::vector<Param> params, AdamWConfig config = {});
+
+  /// One update step using the gradients currently in the parameters.
+  void step();
+
+  double lr() const { return config_.lr; }
+  void set_lr(double lr) { config_.lr = lr; }
+  std::uint64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Param> params_;
+  AdamWConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::uint64_t t_ = 0;
+};
+
+/// PyTorch-style ReduceLROnPlateau ("min" mode, relative threshold).
+class ReduceLROnPlateau {
+ public:
+  ReduceLROnPlateau(AdamW& optimizer, double factor = 0.5, int patience = 10,
+                    double threshold = 1e-4, double min_lr = 0.0);
+
+  /// Feed the epoch's validation loss; reduces LR after `patience` epochs
+  /// without sufficient improvement.  Returns true if LR was reduced.
+  bool step(double metric);
+
+  double best() const { return best_; }
+  int bad_epochs() const { return bad_epochs_; }
+
+ private:
+  AdamW* optimizer_;
+  double factor_;
+  int patience_;
+  double threshold_;
+  double min_lr_;
+  double best_ = std::numeric_limits<double>::infinity();
+  int bad_epochs_ = 0;
+};
+
+}  // namespace dds::gnn

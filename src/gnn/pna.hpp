@@ -1,0 +1,57 @@
+// Principal Neighbourhood Aggregation convolution (Corso et al. 2020),
+// the message-passing layer HydraGNN uses in the paper's setup (§4.2).
+//
+// Forward, per node i with in-neighbours j:
+//   m_j   = W_msg h_j                      (message transform)
+//   agg_a = {mean, max, min, std} of m_j   (4 aggregators)
+//   z_i   = [h_i | agg_a * s_c(d_i)]       (3 degree scalers: identity,
+//                                           amplification, attenuation)
+//   h'_i  = ReLU(W_up z_i)                 (update network, 13*H -> H)
+// Backward propagates through all aggregators analytically (argmax/argmin
+// routing for max/min, centred-deviation term for std).
+#pragma once
+
+#include "graph/batch.hpp"
+#include "gnn/linear.hpp"
+
+namespace dds::gnn {
+
+class PNAConv {
+ public:
+  /// `delta` is the expected log-degree normalizer of the degree scalers.
+  PNAConv(std::size_t hidden, Rng& rng, std::string name,
+          float delta = 1.386294f /* log 4 */);
+
+  Tensor forward(const Tensor& h, const graph::GraphBatch& batch);
+  Tensor backward(const Tensor& gout, const graph::GraphBatch& batch);
+
+  void zero_grad();
+  void collect_params(std::vector<Param>& out);
+  std::size_t param_count() const {
+    return msg_.param_count() + update_.param_count();
+  }
+
+  static constexpr std::size_t kAggregators = 4;  // mean, max, min, std
+  static constexpr std::size_t kScalers = 3;      // id, amplify, attenuate
+
+ private:
+  float amp_scale(std::uint32_t degree) const;
+  float att_scale(std::uint32_t degree) const;
+
+  std::size_t hidden_;
+  float delta_;
+  Linear msg_;
+  Linear update_;
+  ReLU relu_;
+
+  // ---- forward caches (per batch) ----
+  Tensor m_;                               ///< transformed messages [N x H]
+  Tensor mean_, std_;                      ///< per-node aggregates [N x H]
+  std::vector<std::uint32_t> argmax_;      ///< [N x H] source-node index
+  std::vector<std::uint32_t> argmin_;
+  std::vector<std::uint32_t> degree_;      ///< in-degree per node
+  std::vector<std::uint32_t> in_offsets_;  ///< CSR of in-edges
+  std::vector<std::uint32_t> in_sources_;
+};
+
+}  // namespace dds::gnn

@@ -1,0 +1,69 @@
+// Minimal dense 2-D float tensor for the CPU GNN.
+//
+// Row-major [rows x cols]; just enough linear algebra for HydraGNN-style
+// message passing with manual backpropagation.  No expression templates,
+// no views — clarity over peak FLOPs (the timing figures use the compute
+// *model*, not this implementation; this code exists so convergence is
+// real, Fig. 13).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dds::gnn {
+
+struct Tensor {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> v;
+
+  Tensor() = default;
+  Tensor(std::size_t r, std::size_t c) : rows(r), cols(c), v(r * c, 0.0f) {}
+
+  float& at(std::size_t r, std::size_t c) {
+    DDS_CHECK(r < rows && c < cols);
+    return v[r * cols + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    DDS_CHECK(r < rows && c < cols);
+    return v[r * cols + c];
+  }
+
+  std::span<float> row(std::size_t r) {
+    DDS_CHECK(r < rows);
+    return std::span<float>(v.data() + r * cols, cols);
+  }
+  std::span<const float> row(std::size_t r) const {
+    DDS_CHECK(r < rows);
+    return std::span<const float>(v.data() + r * cols, cols);
+  }
+
+  std::size_t size() const { return v.size(); }
+  void fill(float x) { std::fill(v.begin(), v.end(), x); }
+
+  static Tensor zeros_like(const Tensor& t) { return Tensor(t.rows, t.cols); }
+};
+
+/// y = x * W^T + b  (x: [n x in], W: [out x in], b: [out]) -> [n x out].
+inline Tensor linear_forward(const Tensor& x, const Tensor& w,
+                             const std::vector<float>& b) {
+  DDS_CHECK(x.cols == w.cols);
+  DDS_CHECK(b.size() == w.rows);
+  Tensor y(x.rows, w.rows);
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const auto xi = x.row(i);
+    auto yi = y.row(i);
+    for (std::size_t o = 0; o < w.rows; ++o) {
+      const auto wo = w.row(o);
+      float acc = b[o];
+      for (std::size_t k = 0; k < x.cols; ++k) acc += xi[k] * wo[k];
+      yi[o] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace dds::gnn

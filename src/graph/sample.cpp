@@ -1,0 +1,88 @@
+#include "graph/sample.hpp"
+
+#include <string>
+
+namespace dds::graph {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4744'5344;  // "DSDG" little-endian
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+std::size_t GraphSample::serialized_size() const {
+  std::size_t n = 0;
+  n += sizeof(std::uint32_t);  // magic
+  n += sizeof(std::uint16_t);  // version
+  n += sizeof(std::uint64_t);  // id
+  n += 2 * sizeof(std::uint32_t);  // num_nodes, node_feature_dim
+  n += sizeof(std::uint64_t) + node_features.size() * sizeof(float);
+  n += sizeof(std::uint64_t) + edge_src.size() * sizeof(std::uint32_t);
+  n += sizeof(std::uint64_t) + edge_dst.size() * sizeof(std::uint32_t);
+  n += sizeof(std::uint64_t) + positions.size() * sizeof(float);
+  n += sizeof(std::uint64_t) + y.size() * sizeof(float);
+  return n;
+}
+
+void GraphSample::serialize(ByteBuffer& out) const {
+  BinaryWriter w(out);
+  w.write(kMagic);
+  w.write(kVersion);
+  w.write(id);
+  w.write(num_nodes);
+  w.write(node_feature_dim);
+  w.write_vector(node_features);
+  w.write_vector(edge_src);
+  w.write_vector(edge_dst);
+  w.write_vector(positions);
+  w.write_vector(y);
+}
+
+GraphSample GraphSample::deserialize(ByteSpan data) {
+  BinaryReader r(data);
+  const auto magic = r.read<std::uint32_t>();
+  if (magic != kMagic) {
+    throw DataError("GraphSample: bad magic 0x" + std::to_string(magic));
+  }
+  const auto version = r.read<std::uint16_t>();
+  if (version != kVersion) {
+    throw DataError("GraphSample: unsupported version " +
+                    std::to_string(version));
+  }
+  GraphSample s;
+  s.id = r.read<std::uint64_t>();
+  s.num_nodes = r.read<std::uint32_t>();
+  s.node_feature_dim = r.read<std::uint32_t>();
+  s.node_features = r.read_vector<float>();
+  s.edge_src = r.read_vector<std::uint32_t>();
+  s.edge_dst = r.read_vector<std::uint32_t>();
+  s.positions = r.read_vector<float>();
+  s.y = r.read_vector<float>();
+  s.validate();
+  return s;
+}
+
+void GraphSample::validate() const {
+  if (node_features.size() !=
+      static_cast<std::size_t>(num_nodes) * node_feature_dim) {
+    throw DataError("GraphSample " + std::to_string(id) +
+                    ": node_features size mismatch");
+  }
+  if (edge_src.size() != edge_dst.size()) {
+    throw DataError("GraphSample " + std::to_string(id) +
+                    ": edge_src/edge_dst length mismatch");
+  }
+  for (std::size_t i = 0; i < edge_src.size(); ++i) {
+    if (edge_src[i] >= num_nodes || edge_dst[i] >= num_nodes) {
+      throw DataError("GraphSample " + std::to_string(id) +
+                      ": edge endpoint out of range at index " +
+                      std::to_string(i));
+    }
+  }
+  if (!positions.empty() &&
+      positions.size() != static_cast<std::size_t>(num_nodes) * 3) {
+    throw DataError("GraphSample " + std::to_string(id) +
+                    ": positions must be num_nodes x 3");
+  }
+}
+
+}  // namespace dds::graph

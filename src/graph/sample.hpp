@@ -1,0 +1,65 @@
+// Graph samples: the unit of data in atomistic GNN training.
+//
+// Atomistic datasets are millions of *small* graphs (a molecule or lattice
+// each, §1 of the paper) rather than one huge graph: atoms are nodes,
+// interatomic bonds are edges, and the prediction target (energy,
+// HOMO-LUMO gap, UV-vis spectrum) is a graph-level vector.  GraphSample is
+// the in-memory form; serialize()/deserialize() define the versioned binary
+// encoding shared by PFF objects, CFF containers, and DDStore chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dds::graph {
+
+struct GraphSample {
+  /// Stable dataset-wide sample id (index into the dataset).
+  std::uint64_t id = 0;
+
+  std::uint32_t num_nodes = 0;
+  std::uint32_t node_feature_dim = 0;
+  /// Row-major [num_nodes x node_feature_dim] node features
+  /// (e.g. atomic number embedding, spin).
+  std::vector<float> node_features;
+
+  /// COO edge list; undirected bonds are stored as two directed edges.
+  std::vector<std::uint32_t> edge_src;
+  std::vector<std::uint32_t> edge_dst;
+
+  /// Atom positions, row-major [num_nodes x 3] (may be empty).
+  std::vector<float> positions;
+
+  /// Graph-level target (1 value for energy/gap, 100 for discrete UV-vis
+  /// peaks, 37'500 for the smoothed spectrum).
+  std::vector<float> y;
+
+  std::size_t num_edges() const { return edge_src.size(); }
+  std::uint32_t target_dim() const {
+    return static_cast<std::uint32_t>(y.size());
+  }
+
+  /// Exact size of the serialized encoding, in bytes.
+  std::size_t serialized_size() const;
+
+  /// Appends the binary encoding to `out`.
+  void serialize(ByteBuffer& out) const;
+  ByteBuffer to_bytes() const {
+    ByteBuffer out;
+    out.reserve(serialized_size());
+    serialize(out);
+    return out;
+  }
+
+  /// Parses one sample; throws dds::DataError on malformed input.
+  static GraphSample deserialize(ByteSpan data);
+
+  /// Checks structural invariants; throws dds::DataError on violation.
+  void validate() const;
+
+  bool operator==(const GraphSample&) const = default;
+};
+
+}  // namespace dds::graph

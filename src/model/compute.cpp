@@ -1,0 +1,28 @@
+#include "model/compute.hpp"
+
+namespace dds::model {
+
+std::uint64_t hydragnn_param_count(std::uint64_t input_dim,
+                                   std::uint64_t output_dim) {
+  constexpr std::uint64_t hidden = 200;
+  constexpr std::uint64_t pna_layers = 6;
+  constexpr std::uint64_t fc_layers = 3;
+  // PNA (Corso et al. 2020): 4 aggregators (mean/min/max/std) x 3 degree
+  // scalers (identity/amplify/attenuate) concatenated -> 12 * hidden wide
+  // input to the per-layer update network, plus the self feature.
+  constexpr std::uint64_t towers_in = 13 * hidden;
+
+  std::uint64_t params = 0;
+  // Input embedding: input_dim -> hidden.
+  params += (input_dim + 1) * hidden;
+  // Each PNA layer: update MLP (towers_in -> hidden) + pre-aggregation
+  // message transform (hidden -> hidden).
+  params += pna_layers * ((towers_in + 1) * hidden + (hidden + 1) * hidden);
+  // Fully connected head layers.
+  params += fc_layers * ((hidden + 1) * hidden);
+  // Task head.
+  params += (hidden + 1) * output_dim;
+  return params;
+}
+
+}  // namespace dds::model

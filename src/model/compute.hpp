@@ -1,0 +1,78 @@
+// GPU / CPU compute-time model for the HydraGNN training step.
+//
+// The benchmark harnesses do not run real GPU kernels; they charge virtual
+// time for the forward+backward pass of the six-layer PNA network described
+// in the paper (§4.2), parameterized by batch composition (graphs, nodes,
+// edges, output width).  The real CPU-side GNN in src/gnn is used where the
+// math matters (convergence, Fig. 13); this model is used where only the
+// elapsed time matters (throughput and scaling figures).
+#pragma once
+
+#include <cstdint>
+
+#include "model/machine.hpp"
+
+namespace dds::model {
+
+/// Shape of one collated mini-batch.
+struct BatchShape {
+  std::uint64_t graphs = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t output_dim = 1;  ///< neurons in the task head
+};
+
+class ComputeModel {
+ public:
+  explicit ComputeModel(const MachineConfig& machine) : machine_(machine) {}
+
+  /// GPU time for forward + backward on one batch.
+  double forward_backward_time(const BatchShape& b) const {
+    const auto& g = machine_.gpu;
+    const double t =
+        g.kernel_overhead_s +
+        g.per_node_s * static_cast<double>(b.nodes) +
+        g.per_edge_s * static_cast<double>(b.edges) +
+        g.per_output_s * static_cast<double>(b.output_dim) *
+            static_cast<double>(b.graphs);
+    return t / g.speed_factor;
+  }
+
+  /// GPU time for the optimizer (AdamW) step over `param_bytes` of weights.
+  double optimizer_time(std::uint64_t param_bytes) const {
+    const auto& g = machine_.gpu;
+    // AdamW touches 4 arrays (params, grads, m, v); bandwidth-bound.
+    return (g.kernel_overhead_s * 0.2 +
+            4.0 * static_cast<double>(param_bytes) / 600e9) /
+           g.speed_factor;
+  }
+
+  /// CPU time to collate `b` into a single batched graph (CPU-Batching in
+  /// the paper's Fig. 5 breakdown), given the raw sample payload bytes.
+  double batching_time(const BatchShape& b, std::uint64_t payload_bytes) const {
+    const auto& c = machine_.cpu;
+    return c.batch_fixed_s +
+           c.batch_per_node_s * static_cast<double>(b.nodes) +
+           static_cast<double>(payload_bytes) / c.memcpy_bandwidth_Bps;
+  }
+
+  const MachineConfig& machine() const { return machine_; }
+
+ private:
+  MachineConfig machine_;
+};
+
+/// Parameter count of the paper's HydraGNN configuration: six PNA layers of
+/// hidden dim 200 followed by three fully connected layers of 200 neurons
+/// and a task head of `output_dim` neurons.  Used to size gradient
+/// all-reduce traffic.  The PNA layer cost model (4 aggregators x 3 scalers
+/// -> 12 * hidden inputs to the update MLP) follows Corso et al. 2020.
+std::uint64_t hydragnn_param_count(std::uint64_t input_dim,
+                                   std::uint64_t output_dim);
+
+inline std::uint64_t hydragnn_param_bytes(std::uint64_t input_dim,
+                                          std::uint64_t output_dim) {
+  return hydragnn_param_count(input_dim, output_dim) * sizeof(float);
+}
+
+}  // namespace dds::model

@@ -1,0 +1,89 @@
+#include "model/machine.hpp"
+
+namespace dds::model {
+
+MachineConfig summit() {
+  MachineConfig m;
+  m.name = "Summit";
+  m.gpus_per_node = 6;
+  m.node_memory_bytes = 512 * dds::GiB;
+  m.gpu_memory_bytes = 16 * dds::GiB;
+
+  m.net.inter_latency_s = 1.8e-6;
+  m.net.inter_bandwidth_Bps = 23e9;  // dual-rail EDR InfiniBand
+  m.net.intra_latency_s = 0.4e-6;
+  m.net.intra_bandwidth_Bps = 120e9;
+  m.net.rma_remote_overhead_s = 420e-6;
+  m.net.rma_intra_overhead_s = 50e-6;
+  m.net.rma_local_overhead_s = 55e-6;
+
+  // Alpine (GPFS): strong aggregate bandwidth, slower metadata under load.
+  m.fs.mds_service_s = 1.1e-3;
+  m.fs.mds_occupancy_s = 6e-6;
+  m.fs.read_latency_s = 1.0e-3;
+  m.fs.random_read_penalty_s = 1.8e-3;
+  m.fs.aggregate_bandwidth_Bps = 50e9;
+  // Six ranks per node leave less usable page cache than Perlmutter's four.
+  m.fs.page_cache_bytes_per_node = 16 * dds::GiB;
+
+  m.gpu.speed_factor = 0.5;  // V100 relative to A100
+  m.gpu.nccl_bandwidth_Bps = 15e9;
+  return m;
+}
+
+MachineConfig perlmutter() {
+  MachineConfig m;
+  m.name = "Perlmutter";
+  m.gpus_per_node = 4;
+  m.node_memory_bytes = 256 * dds::GiB;
+  m.gpu_memory_bytes = 40 * dds::GiB;
+
+  m.net.inter_latency_s = 1.3e-6;
+  m.net.inter_bandwidth_Bps = 25e9;  // Slingshot injection per node
+  m.net.intra_latency_s = 0.3e-6;
+  m.net.intra_bandwidth_Bps = 150e9;
+  m.net.rma_remote_overhead_s = 380e-6;
+  m.net.rma_local_overhead_s = 45e-6;
+
+  // Lustre scratch: fast data path, metadata contended under small files.
+  m.fs.mds_service_s = 0.9e-3;
+  m.fs.mds_occupancy_s = 5e-6;
+  m.fs.read_latency_s = 1.1e-3;
+  m.fs.random_read_penalty_s = 3.2e-3;
+  m.fs.aggregate_bandwidth_Bps = 8e9;
+  m.fs.page_cache_bytes_per_node = 24 * dds::GiB;
+
+  m.gpu.speed_factor = 1.0;  // A100
+  m.gpu.nccl_bandwidth_Bps = 20e9;
+  return m;
+}
+
+MachineConfig test_machine() {
+  MachineConfig m;
+  m.name = "TestMachine";
+  m.gpus_per_node = 4;
+  m.node_memory_bytes = 8 * dds::GiB;
+  m.gpu_memory_bytes = 1 * dds::GiB;
+  // Round numbers so unit tests can assert exact virtual-time arithmetic.
+  m.net.inter_latency_s = 1e-6;
+  m.net.inter_bandwidth_Bps = 10e9;
+  m.net.intra_latency_s = 1e-7;
+  m.net.intra_bandwidth_Bps = 100e9;
+  m.net.rma_remote_overhead_s = 100e-6;
+  m.net.rma_intra_overhead_s = 20e-6;
+  m.net.rma_local_overhead_s = 10e-6;
+  m.net.collective_per_stage_s = 1e-6;
+  m.fs.mds_service_s = 1e-3;
+  m.fs.mds_occupancy_s = 10e-6;
+  m.fs.read_latency_s = 0.1e-3;
+  m.fs.random_read_penalty_s = 1e-3;
+  m.fs.aggregate_bandwidth_Bps = 10e9;
+  m.fs.block_bytes = 64 * dds::KiB;
+  m.fs.page_cache_bytes_per_node = 64 * dds::MiB;
+  m.fs.cache_hit_s = 0.05e-3;
+  m.fs.jitter_sigma = 0.0;  // deterministic for exact-arithmetic tests
+  m.fs.stall_prob = 0.0;
+  return m;
+}
+
+}  // namespace dds::model

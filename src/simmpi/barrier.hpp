@@ -1,0 +1,78 @@
+// Abortable sense-reversing barrier for rank threads.
+//
+// Every collective in simmpi synchronizes through this barrier.  If any rank
+// thread dies with an exception, the runtime flips the shared abort flag and
+// wakes all waiters, which then throw AbortedError instead of deadlocking —
+// so a failure in one rank surfaces as a clean test failure, not a hang.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace dds::simmpi {
+
+/// Thrown by ranks parked in a collective when another rank has failed.
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("simmpi: collective aborted (a rank failed)") {}
+};
+
+/// Shared abort flag owned by the Runtime, observed by every barrier.
+class AbortFlag {
+ public:
+  void raise() { raised_.store(true, std::memory_order_release); }
+  void clear() { raised_.store(false, std::memory_order_release); }
+  bool raised() const { return raised_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> raised_{false};
+};
+
+class Barrier {
+ public:
+  Barrier(int parties, AbortFlag* abort) : parties_(parties), abort_(abort) {
+    DDS_CHECK(parties > 0);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive (or throws AbortedError on abort).
+  ///
+  /// Waiters poll the abort flag on a short timeout: the Runtime cannot
+  /// enumerate every barrier (sub-communicators create their own), so a
+  /// notify-based abort could strand parked threads.
+  void arrive_and_wait() {
+    std::unique_lock lock(m_);
+    if (abort_ != nullptr && abort_->raised()) throw AbortedError();
+    const std::uint64_t gen = generation_;
+    if (++count_ == parties_) {
+      count_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
+      return generation_ != gen;
+    })) {
+      if (abort_ != nullptr && abort_->raised()) throw AbortedError();
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  const int parties_;
+  int count_ = 0;
+  std::uint64_t generation_ = 0;
+  AbortFlag* abort_;
+};
+
+}  // namespace dds::simmpi

@@ -1,0 +1,212 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+namespace dds::simmpi {
+
+// ---- Comm ----------------------------------------------------------------
+
+model::VirtualClock& Comm::clock() const {
+  return shared_->runtime->clock_of(world_rank());
+}
+
+Rng& Comm::rng() const { return shared_->runtime->rng_of(world_rank()); }
+
+double Comm::clock_now() const { return clock().now(); }
+
+void Comm::finish(double max_start, std::size_t bytes) {
+  const double done =
+      shared_->runtime->network().collective_time(size(), bytes, max_start);
+  clock().advance_to(done);
+}
+
+void Comm::sync_clocks(std::size_t bytes) {
+  deposit(nullptr, 0);
+  const double start = read_phase([](int) {});
+  finish(start, bytes);
+}
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  const Entry mine{color, key, rank_};
+  deposit(&mine, sizeof(Entry));
+
+  std::vector<int> members;       // parent-comm ranks of my group, ordered
+  const double start = read_phase([&](int nranks) {
+    std::vector<Entry> all(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      std::memcpy(&all[static_cast<std::size_t>(r)], shared_->slots[r],
+                  sizeof(Entry));
+    }
+    std::vector<Entry> group;
+    for (const auto& e : all) {
+      if (e.color == color) group.push_back(e);
+    }
+    std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+      return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+    });
+    members.reserve(group.size());
+    for (const auto& e : group) members.push_back(e.rank);
+  });
+
+  const int leader = members.front();
+  if (rank_ == leader) {
+    std::vector<int> world;
+    world.reserve(members.size());
+    for (int r : members) world.push_back(shared_->world_ranks[static_cast<std::size_t>(r)]);
+    shared_->publish[static_cast<std::size_t>(rank_)] =
+        std::make_shared<detail::CommShared>(shared_->runtime,
+                                             std::move(world),
+                                             &shared_->runtime->abort_flag());
+  }
+  shared_->barrier.arrive_and_wait();
+  auto sub = shared_->publish[static_cast<std::size_t>(leader)];
+  shared_->barrier.arrive_and_wait();
+  if (rank_ == leader) shared_->publish[static_cast<std::size_t>(rank_)].reset();
+
+  finish(start, sizeof(Entry));
+  const auto my_pos = static_cast<int>(
+      std::find(members.begin(), members.end(), rank_) - members.begin());
+  return Comm(std::move(sub), my_pos);
+}
+
+std::shared_ptr<void> Comm::share_ptr(
+    int root, const std::function<std::shared_ptr<void>()>& make) {
+  DDS_CHECK(root >= 0 && root < size());
+  auto& cs = *shared_;
+  deposit(nullptr, 0);
+  if (rank_ == root) {
+    cs.any_publish[static_cast<std::size_t>(root)] = make();
+  }
+  cs.barrier.arrive_and_wait();
+  double start = 0.0;
+  for (double t : cs.clock_slots) start = std::max(start, t);
+  auto ptr = cs.any_publish[static_cast<std::size_t>(root)];
+  cs.barrier.arrive_and_wait();
+  if (rank_ == root) cs.any_publish[static_cast<std::size_t>(root)].reset();
+  finish(start, sizeof(void*));
+  return ptr;
+}
+
+void Comm::send_bytes(ByteSpan data, int dest, int tag) {
+  DDS_CHECK(dest >= 0 && dest < size());
+  Runtime& rt = *shared_->runtime;
+  const int src_world = world_rank();
+  const int dst_world = world_rank_of(dest);
+  const double arrival = rt.network().message_time(
+      src_world, dst_world, data.size(), clock().now());
+
+  detail::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.data.assign(data.begin(), data.end());
+  msg.arrival = arrival;
+
+  auto& box = rt.mailbox(dst_world);
+  {
+    const std::scoped_lock lock(box.m);
+    box.q.push_back(std::move(msg));
+    ++box.version;
+  }
+  box.cv.notify_all();
+  // Sender returns once the message is injected (eager protocol).
+  clock().advance(rt.machine().net.inter_latency_s);
+}
+
+ByteBuffer Comm::recv_bytes(int src, int tag, int* actual_src) {
+  Runtime& rt = *shared_->runtime;
+  auto& box = rt.mailbox(world_rank());
+  std::unique_lock lock(box.m);
+  for (;;) {
+    const auto it = std::find_if(
+        box.q.begin(), box.q.end(), [&](const detail::Message& m) {
+          return (src == kAnySource || m.src == src) && m.tag == tag;
+        });
+    if (it != box.q.end()) {
+      detail::Message msg = std::move(*it);
+      box.q.erase(it);
+      lock.unlock();
+      clock().advance_to(msg.arrival);
+      if (actual_src != nullptr) *actual_src = msg.src;
+      return std::move(msg.data);
+    }
+    const std::uint64_t seen = box.version;
+    if (!box.cv.wait_for(lock, std::chrono::milliseconds(20),
+                         [&] { return box.version != seen; })) {
+      if (rt.abort_flag().raised()) throw AbortedError();
+    }
+  }
+}
+
+// ---- Runtime ---------------------------------------------------------------
+
+Runtime::Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed)
+    : nranks_(nranks),
+      machine_(std::move(machine)),
+      net_(machine_, nranks),
+      clocks_(static_cast<std::size_t>(nranks)),
+      rngs_() {
+  DDS_CHECK_MSG(nranks > 0, "Runtime needs at least one rank");
+  const Rng root(seed);
+  rngs_.reserve(static_cast<std::size_t>(nranks));
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    rngs_.push_back(root.stream(static_cast<std::uint64_t>(r)));
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+  std::vector<int> world(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) world[static_cast<std::size_t>(r)] = r;
+  world_ = std::make_shared<detail::CommShared>(this, std::move(world),
+                                                &abort_);
+}
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(world_, r);
+        fn(comm);
+      } catch (const AbortedError&) {
+        // Another rank failed first; nothing to report from this one.
+      } catch (...) {
+        {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_.raise();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) {
+    // Leave the runtime reusable: future runs start from a clean flag.
+    abort_.clear();
+    std::rethrow_exception(first_error);
+  }
+}
+
+double Runtime::max_clock() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t = std::max(t, c.now());
+  return t;
+}
+
+void Runtime::reset_time() {
+  for (auto& c : clocks_) c.reset();
+  net_.reset();
+}
+
+}  // namespace dds::simmpi

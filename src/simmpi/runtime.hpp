@@ -1,0 +1,407 @@
+// simmpi: an in-process, MPI-like runtime with virtual time.
+//
+// Ranks are threads inside one process; communicators, collectives, and
+// one-sided windows behave like their MPI counterparts and move real bytes
+// between rank-owned buffers, while a NetworkModel charges simulated
+// seconds to each rank's VirtualClock.  This is the substitution for the
+// real MPI + Summit/Perlmutter interconnects the paper ran on (DESIGN.md):
+// control flow and data movement are real, elapsed time is modelled.
+//
+// Usage:
+//   Runtime rt(8, model::perlmutter());
+//   rt.run([&](Comm& world) {
+//     auto group = world.split(world.rank() / 4, world.rank());
+//     double s = world.allreduce(1.0, Op::Sum);   // == 8.0 on every rank
+//   });
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/clock.hpp"
+#include "model/machine.hpp"
+#include "model/network.hpp"
+#include "simmpi/barrier.hpp"
+
+namespace dds::simmpi {
+
+class Runtime;
+class Comm;
+
+/// Reduction operators for allreduce/reduce.
+enum class Op { Sum, Min, Max, Prod };
+
+namespace detail {
+
+template <typename T>
+T apply_op(Op op, T a, T b) {
+  switch (op) {
+    case Op::Sum:
+      return a + b;
+    case Op::Min:
+      return b < a ? b : a;
+    case Op::Max:
+      return a < b ? b : a;
+    case Op::Prod:
+      return a * b;
+  }
+  throw InternalError("unknown Op");
+}
+
+/// A point-to-point message in flight.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  ByteBuffer data;
+  double arrival = 0.0;  ///< simulated time the payload lands at the receiver
+};
+
+/// Per-rank incoming message queue (two-sided communication).
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> q;
+  std::uint64_t version = 0;  ///< bumped on every enqueue (wakeup token)
+};
+
+/// State shared by all member ranks of one communicator.
+struct CommShared {
+  CommShared(Runtime* rt, std::vector<int> world, AbortFlag* abort)
+      : runtime(rt),
+        world_ranks(std::move(world)),
+        barrier(static_cast<int>(world_ranks.size()), abort),
+        slots(world_ranks.size(), nullptr),
+        size_slots(world_ranks.size(), 0),
+        clock_slots(world_ranks.size(), 0.0),
+        publish(world_ranks.size()),
+        any_publish(world_ranks.size()) {}
+
+  int size() const { return static_cast<int>(world_ranks.size()); }
+
+  Runtime* runtime;
+  std::vector<int> world_ranks;  ///< subrank -> world rank
+  Barrier barrier;
+  std::vector<const void*> slots;
+  std::vector<std::size_t> size_slots;
+  std::vector<double> clock_slots;
+  std::vector<std::shared_ptr<CommShared>> publish;  ///< for split()
+  std::vector<std::shared_ptr<void>> any_publish;    ///< for Window::create
+};
+
+}  // namespace detail
+
+/// Per-rank handle on a communicator (cheap to copy, like an MPI_Comm).
+class Comm {
+ public:
+  Comm() = default;
+
+  int rank() const { return rank_; }
+  int size() const { return shared_->size(); }
+  /// This rank's identity in the world communicator (for NIC placement).
+  int world_rank() const { return shared_->world_ranks[rank_]; }
+  int world_rank_of(int r) const { return shared_->world_ranks.at(r); }
+
+  Runtime& runtime() const { return *shared_->runtime; }
+  model::VirtualClock& clock() const;
+  Rng& rng() const;
+
+  // ---- collectives ----------------------------------------------------
+
+  /// Barrier: synchronizes ranks and reconciles virtual clocks to the max.
+  void barrier() { sync_clocks(0); }
+
+  /// Splits into sub-communicators by color; ranks ordered by (key, rank).
+  Comm split(int color, int key);
+
+  Comm dup() { return split(0, rank_); }
+
+  template <typename T>
+    requires TriviallySerializable<T>
+  void bcast(T* data, std::size_t count, int root) {
+    deposit(data, count * sizeof(T));
+    const double done = read_phase([&](int) {
+      if (rank_ != root) {
+        std::memcpy(data, shared_->slots[root], count * sizeof(T));
+      }
+    });
+    finish(done, count * sizeof(T));
+  }
+
+  template <typename T>
+  void bcast(std::vector<T>& v, int root) {
+    auto n = static_cast<std::uint64_t>(v.size());
+    bcast(&n, 1, root);
+    if (rank_ != root) v.resize(n);
+    if (n > 0) bcast(v.data(), v.size(), root);
+  }
+
+  template <typename T>
+  T allreduce(T value, Op op) {
+    T result = value;
+    allreduce_inplace(std::span<T>(&result, 1), op);
+    return result;
+  }
+
+  template <typename T>
+    requires TriviallySerializable<T>
+  void allreduce_inplace(std::span<T> data, Op op) {
+    // Deposit the *input*; every rank folds all contributions locally.
+    // A copy keeps the input stable while peers read it.
+    std::vector<T> mine(data.begin(), data.end());
+    deposit(mine.data(), mine.size() * sizeof(T));
+    const double done = read_phase([&](int nranks) {
+      for (int r = 0; r < nranks; ++r) {
+        if (r == rank_) continue;
+        const T* theirs = static_cast<const T*>(shared_->slots[r]);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data[i] = detail::apply_op(op, data[i], theirs[i]);
+        }
+      }
+    });
+    finish(done, data.size() * sizeof(T));
+  }
+
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> allgather(const T& value) {
+    deposit(&value, sizeof(T));
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    const double done = read_phase([&](int nranks) {
+      for (int r = 0; r < nranks; ++r) {
+        std::memcpy(&out[static_cast<std::size_t>(r)], shared_->slots[r],
+                    sizeof(T));
+      }
+    });
+    finish(done, sizeof(T));
+    return out;
+  }
+
+  /// Variable-count allgather; fills `counts` (per-rank element counts)
+  /// when non-null and returns the concatenation in rank order.
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::vector<std::size_t>* counts = nullptr) {
+    deposit(mine.data(), mine.size() * sizeof(T));
+    std::vector<T> out;
+    std::size_t max_bytes = 0;
+    const double done = read_phase([&](int nranks) {
+      std::size_t total = 0;
+      for (int r = 0; r < nranks; ++r) {
+        total += shared_->size_slots[static_cast<std::size_t>(r)] / sizeof(T);
+        max_bytes =
+            std::max(max_bytes, shared_->size_slots[static_cast<std::size_t>(r)]);
+      }
+      out.reserve(total);
+      if (counts != nullptr) counts->assign(static_cast<std::size_t>(nranks), 0);
+      for (int r = 0; r < nranks; ++r) {
+        const auto bytes = shared_->size_slots[static_cast<std::size_t>(r)];
+        const auto n = bytes / sizeof(T);
+        const T* p = static_cast<const T*>(shared_->slots[r]);
+        out.insert(out.end(), p, p + n);
+        if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = n;
+      }
+    });
+    finish(done, max_bytes);
+    return out;
+  }
+
+  /// All-to-all with per-destination buffers: send[i] goes to rank i;
+  /// returns the concatenation of everyone's segment addressed to us.
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& send,
+                           std::vector<std::size_t>* counts = nullptr) {
+    DDS_CHECK(static_cast<int>(send.size()) == size());
+    deposit(&send, sizeof(send));
+    std::vector<T> out;
+    std::size_t my_bytes_out = 0;
+    for (const auto& s : send) my_bytes_out += s.size() * sizeof(T);
+    const double done = read_phase([&](int nranks) {
+      if (counts != nullptr) counts->assign(static_cast<std::size_t>(nranks), 0);
+      for (int r = 0; r < nranks; ++r) {
+        const auto* their_send =
+            static_cast<const std::vector<std::vector<T>>*>(shared_->slots[r]);
+        const auto& seg = (*their_send)[static_cast<std::size_t>(rank_)];
+        out.insert(out.end(), seg.begin(), seg.end());
+        if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = seg.size();
+      }
+    });
+    finish(done, my_bytes_out);
+    return out;
+  }
+
+  /// allgather that does NOT advance virtual clocks — for simulation
+  /// harnesses that need to exchange bookkeeping (e.g. per-rank GPU
+  /// completion times) without perturbing the time model.
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> allgather_untimed(const T& value) {
+    deposit(&value, sizeof(T));
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    read_phase([&](int nranks) {
+      for (int r = 0; r < nranks; ++r) {
+        std::memcpy(&out[static_cast<std::size_t>(r)], shared_->slots[r],
+                    sizeof(T));
+      }
+    });
+    return out;
+  }
+
+  /// Variable-count gather to `root` only: root receives the concatenation
+  /// (with per-rank counts); other ranks receive an empty vector.
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> gatherv(std::span<const T> mine, int root,
+                         std::vector<std::size_t>* counts = nullptr) {
+    deposit(mine.data(), mine.size() * sizeof(T));
+    std::vector<T> out;
+    const double done = read_phase([&](int nranks) {
+      if (rank_ != root) return;
+      std::size_t total = 0;
+      for (int r = 0; r < nranks; ++r) {
+        total += shared_->size_slots[static_cast<std::size_t>(r)] / sizeof(T);
+      }
+      out.reserve(total);
+      if (counts != nullptr) counts->assign(static_cast<std::size_t>(nranks), 0);
+      for (int r = 0; r < nranks; ++r) {
+        const auto n = shared_->size_slots[static_cast<std::size_t>(r)] / sizeof(T);
+        const T* p = static_cast<const T*>(shared_->slots[r]);
+        out.insert(out.end(), p, p + n);
+        if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = n;
+      }
+    });
+    finish(done, mine.size() * sizeof(T));
+    return out;
+  }
+
+  /// Collective object sharing: `root` runs `make()` once; every rank
+  /// returns the same shared_ptr.  Used to share large immutable state
+  /// (chunk registries, epoch permutations) across rank threads — in a real
+  /// MPI job each rank would hold its own copy; sharing one in-process copy
+  /// is a memory optimization that does not change behaviour because the
+  /// shared objects are immutable.
+  std::shared_ptr<void> share_ptr(
+      int root, const std::function<std::shared_ptr<void>()>& make);
+
+  template <typename T, typename F>
+  std::shared_ptr<T> share(int root, F&& make) {
+    return std::static_pointer_cast<T>(share_ptr(
+        root, [&make]() -> std::shared_ptr<void> { return make(); }));
+  }
+
+  // ---- two-sided point-to-point ---------------------------------------
+
+  static constexpr int kAnySource = -1;
+
+  void send_bytes(ByteSpan data, int dest, int tag);
+  /// Blocks until a matching message arrives; src may be kAnySource.
+  ByteBuffer recv_bytes(int src, int tag, int* actual_src = nullptr);
+
+  template <typename T>
+    requires TriviallySerializable<T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send_bytes(ByteSpan(reinterpret_cast<const std::byte*>(data.data()),
+                        data.size() * sizeof(T)),
+               dest, tag);
+  }
+
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> recv(int src, int tag, int* actual_src = nullptr) {
+    ByteBuffer buf = recv_bytes(src, tag, actual_src);
+    DDS_CHECK(buf.size() % sizeof(T) == 0);
+    std::vector<T> out(buf.size() / sizeof(T));
+    std::memcpy(out.data(), buf.data(), buf.size());
+    return out;
+  }
+
+ private:
+  friend class Runtime;
+  friend class Window;
+
+  Comm(std::shared_ptr<detail::CommShared> shared, int rank)
+      : shared_(std::move(shared)), rank_(rank) {}
+
+  void deposit(const void* ptr, std::size_t bytes) {
+    shared_->slots[static_cast<std::size_t>(rank_)] = ptr;
+    shared_->size_slots[static_cast<std::size_t>(rank_)] = bytes;
+    shared_->clock_slots[static_cast<std::size_t>(rank_)] = clock_now();
+  }
+
+  /// Runs `fn` between the two barriers of an exchange; returns the max
+  /// deposit-time across ranks (the collective's start time).
+  template <typename F>
+  double read_phase(F&& fn) {
+    shared_->barrier.arrive_and_wait();
+    double start = 0.0;
+    for (double t : shared_->clock_slots) start = std::max(start, t);
+    fn(size());
+    shared_->barrier.arrive_and_wait();
+    return start;
+  }
+
+  void finish(double max_start, std::size_t bytes);
+  void sync_clocks(std::size_t bytes);
+  double clock_now() const;
+
+  std::shared_ptr<detail::CommShared> shared_;
+  int rank_ = 0;
+};
+
+/// Owns the rank threads, clocks, RNG streams, and the network model.
+class Runtime {
+ public:
+  Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed = 42);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Spawns one thread per rank running `fn(world_comm)` and joins them.
+  /// The first exception thrown by any rank is rethrown here; other ranks
+  /// are released from collectives via the abort flag.
+  void run(const std::function<void(Comm&)>& fn);
+
+  int nranks() const { return nranks_; }
+  const model::MachineConfig& machine() const { return machine_; }
+  model::NetworkModel& network() { return net_; }
+
+  model::VirtualClock& clock_of(int world_rank) {
+    return clocks_[static_cast<std::size_t>(world_rank)];
+  }
+  Rng& rng_of(int world_rank) {
+    return rngs_[static_cast<std::size_t>(world_rank)];
+  }
+  detail::Mailbox& mailbox(int world_rank) {
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+  AbortFlag& abort_flag() { return abort_; }
+
+  /// Maximum simulated time across ranks (the job's makespan so far).
+  double max_clock() const;
+
+  /// Resets all clocks and network busy state (e.g. between experiments).
+  void reset_time();
+
+ private:
+  int nranks_;
+  model::MachineConfig machine_;
+  model::NetworkModel net_;
+  AbortFlag abort_;
+  std::vector<model::VirtualClock> clocks_;
+  std::vector<Rng> rngs_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::shared_ptr<detail::CommShared> world_;
+};
+
+}  // namespace dds::simmpi

@@ -1,0 +1,145 @@
+#include "simmpi/window.hpp"
+
+#include <cstring>
+
+namespace dds::simmpi {
+
+Window::Window(Comm& comm, MutableByteSpan local,
+               std::shared_ptr<const void> keepalive)
+    : comm_(comm), held_(static_cast<std::size_t>(comm.size()),
+                         HeldLock::None) {
+  auto& cs = *comm_.shared_;
+  const auto me = static_cast<std::size_t>(comm_.rank());
+
+  // Registration (MPI_Win_create) is collective: exchange region pointers.
+  comm_.deposit(local.data(), local.size());
+  cs.barrier.arrive_and_wait();
+  double start = 0.0;
+  for (double t : cs.clock_slots) start = std::max(start, t);
+  if (comm_.rank() == 0) {
+    auto ws = std::make_shared<detail::WindowShared>(
+        static_cast<std::size_t>(comm_.size()));
+    for (int r = 0; r < comm_.size(); ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      ws->regions[ri] = MutableByteSpan(
+          static_cast<std::byte*>(const_cast<void*>(cs.slots[ri])),
+          cs.size_slots[ri]);
+    }
+    cs.any_publish[0] = ws;
+  }
+  cs.barrier.arrive_and_wait();
+  shared_ = std::static_pointer_cast<detail::WindowShared>(cs.any_publish[0]);
+  shared_->keepalives[me] = std::move(keepalive);
+  cs.barrier.arrive_and_wait();
+  if (comm_.rank() == 0) cs.any_publish[0].reset();
+
+  comm_.finish(start, sizeof(void*));
+}
+
+void Window::lock(int target, LockType type) {
+  const auto t = static_cast<std::size_t>(target);
+  DDS_CHECK_MSG(held_.at(t) == HeldLock::None,
+                "lock epoch already active on this target");
+  if (type == LockType::Shared) {
+    shared_->locks[t].lock_shared();
+    held_[t] = HeldLock::Shared;
+  } else {
+    shared_->locks[t].lock();
+    held_[t] = HeldLock::Exclusive;
+  }
+  // Timing of lock/unlock is folded into the per-access RMA overhead in
+  // NetworkModel (rma_remote_overhead_s), matching how the paper reports a
+  // single per-sample fetch latency.
+}
+
+void Window::unlock(int target) {
+  const auto t = static_cast<std::size_t>(target);
+  switch (held_.at(t)) {
+    case HeldLock::Shared:
+      shared_->locks[t].unlock_shared();
+      break;
+    case HeldLock::Exclusive:
+      shared_->locks[t].unlock();
+      break;
+    case HeldLock::None:
+      throw InternalError("unlock without a matching lock");
+  }
+  held_[t] = HeldLock::None;
+}
+
+void Window::check_bounds(int target, std::size_t offset,
+                          std::size_t len) const {
+  const auto& region = shared_->regions.at(static_cast<std::size_t>(target));
+  if (offset + len > region.size()) {
+    throw DataError("Window access out of bounds: offset " +
+                    std::to_string(offset) + " + len " + std::to_string(len) +
+                    " > region " + std::to_string(region.size()) +
+                    " on target " + std::to_string(target));
+  }
+}
+
+void Window::get(MutableByteSpan dst, int target, std::size_t offset,
+                 std::uint64_t charge_bytes, double overhead_scale) {
+  const auto t = static_cast<std::size_t>(target);
+  DDS_CHECK_MSG(held_.at(t) != HeldLock::None,
+                "get outside a lock epoch");
+  check_bounds(target, offset, dst.size());
+  const auto& region = shared_->regions[t];
+  std::memcpy(dst.data(), region.data() + offset, dst.size());
+
+  auto& rt = comm_.runtime();
+  const double done = rt.network().rma_get_time(
+      comm_.world_rank(), comm_.world_rank_of(target),
+      charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
+      overhead_scale);
+  comm_.clock().advance_to(done);
+}
+
+void Window::put(ByteSpan src, int target, std::size_t offset) {
+  const auto t = static_cast<std::size_t>(target);
+  DDS_CHECK_MSG(held_.at(t) == HeldLock::Exclusive,
+                "put requires an exclusive lock epoch");
+  check_bounds(target, offset, src.size());
+  auto& region = shared_->regions[t];
+  std::memcpy(region.data() + offset, src.data(), src.size());
+
+  auto& rt = comm_.runtime();
+  const double done = rt.network().rma_get_time(
+      comm_.world_rank(), comm_.world_rank_of(target), src.size(),
+      comm_.clock().now());
+  comm_.clock().advance_to(done);
+}
+
+void Window::accumulate_add(std::span<const double> src, int target,
+                            std::size_t offset) {
+  const auto t = static_cast<std::size_t>(target);
+  DDS_CHECK_MSG(held_.at(t) == HeldLock::Exclusive,
+                "accumulate requires an exclusive lock epoch");
+  const std::size_t bytes = src.size() * sizeof(double);
+  check_bounds(target, offset, bytes);
+  auto& region = shared_->regions[t];
+  DDS_CHECK_MSG(offset % sizeof(double) == 0, "misaligned accumulate");
+  auto* dst = reinterpret_cast<double*>(region.data() + offset);
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+
+  auto& rt = comm_.runtime();
+  const double done = rt.network().rma_get_time(
+      comm_.world_rank(), comm_.world_rank_of(target), bytes,
+      comm_.clock().now());
+  comm_.clock().advance_to(done);
+}
+
+void Window::fence() {
+  for (std::size_t t = 0; t < held_.size(); ++t) {
+    DDS_CHECK_MSG(held_[t] == HeldLock::None,
+                  "fence with an open lock epoch");
+  }
+  comm_.sync_clocks(0);
+}
+
+void Window::free() {
+  comm_.barrier();
+  shared_.reset();
+}
+
+}  // namespace dds::simmpi

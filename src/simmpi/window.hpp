@@ -1,0 +1,109 @@
+// One-sided RMA windows (the MPI_Win_* subset DDStore relies on).
+//
+// A Window is created collectively over a communicator; each rank exposes a
+// region of its own memory.  Remote ranks read it with lock(Shared) + get +
+// unlock — the passive-target pattern the paper selects ("MPI_Win_lock with
+// MPI_LOCK_SHARED ... as a lightweight set of contention-avoiding methods",
+// §3.2) — or synchronize epochs with fence().  get/put move real bytes via
+// memcpy under a shared_mutex; the NetworkModel charges virtual time
+// (software overhead + wire + queueing at the target node's NIC).
+//
+// Deviations from MPI semantics, by design:
+//  * lock() blocks immediately instead of deferring to the first access;
+//    cross-rank exclusive lock cycles can therefore deadlock (as can
+//    misordered MPI passive-target code).
+//  * Window lifetime is reference counted; free() is a collective no-op
+//    provided for symmetry with MPI_Win_free.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+
+#include "common/bytes.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace dds::simmpi {
+
+enum class LockType { Shared, Exclusive };
+
+namespace detail {
+struct WindowShared {
+  explicit WindowShared(std::size_t n) : regions(n), keepalives(n), locks(n) {}
+  std::vector<MutableByteSpan> regions;    ///< indexed by comm rank
+  /// Optional shared ownership of each region's backing storage: keeps a
+  /// rank's buffer alive until the *last* member's Window handle dies, so a
+  /// rank finishing early cannot free memory peers still read (the
+  /// in-process analogue of MPI_Win_free being collective).
+  std::vector<std::shared_ptr<const void>> keepalives;
+  std::deque<std::shared_mutex> locks;     ///< per exposed region
+};
+}  // namespace detail
+
+class Window {
+ public:
+  /// Collective: every rank of `comm` must call this with its local region.
+  /// Pass `keepalive` owning the region's storage to make lifetime safe
+  /// against members destroying their Window at different times; with a
+  /// null keepalive the caller must keep the buffer alive until every
+  /// member has dropped its handle (as with a real MPI window).
+  Window(Comm& comm, MutableByteSpan local,
+         std::shared_ptr<const void> keepalive = nullptr);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+  Window(Window&&) = default;
+  Window& operator=(Window&&) = default;
+  ~Window() = default;
+
+  /// Begins a passive-target access epoch on `target`'s region.
+  void lock(int target, LockType type);
+
+  /// Ends the access epoch started by lock().
+  void unlock(int target);
+
+  /// Reads dst.size() bytes from `target`'s region at `offset`.
+  /// Requires an active lock epoch on `target`.
+  ///
+  /// `charge_bytes` overrides the transfer size used for *timing* (0 =>
+  /// dst.size()): in scaled-down runs DDStore moves small real payloads but
+  /// charges the paper-scale nominal sample size, so queueing and bandwidth
+  /// behave as if the full dataset were stored.  `overhead_scale` discounts
+  /// the per-get software overhead when a lock epoch is shared by a batch.
+  void get(MutableByteSpan dst, int target, std::size_t offset,
+           std::uint64_t charge_bytes = 0, double overhead_scale = 1.0);
+
+  /// Writes src into `target`'s region at `offset` (exclusive lock needed).
+  void put(ByteSpan src, int target, std::size_t offset);
+
+  /// Element-wise += of doubles into `target`'s region (exclusive lock).
+  void accumulate_add(std::span<const double> src, int target,
+                      std::size_t offset);
+
+  /// Collective epoch boundary; reconciles all member clocks (MPI_Win_fence).
+  void fence();
+
+  /// Collective release (MPI_Win_free); the object stays valid but empty.
+  void free();
+
+  std::size_t size_of(int target) const {
+    return shared_->regions.at(static_cast<std::size_t>(target)).size();
+  }
+  /// Address of a target's exposed region (diagnostics/tests only).
+  const void* region_data(int target) const {
+    return shared_->regions.at(static_cast<std::size_t>(target)).data();
+  }
+  int comm_rank() const { return comm_.rank(); }
+  int comm_size() const { return comm_.size(); }
+
+ private:
+  enum class HeldLock : std::uint8_t { None = 0, Shared = 1, Exclusive = 2 };
+
+  void check_bounds(int target, std::size_t offset, std::size_t len) const;
+
+  Comm comm_;
+  std::shared_ptr<detail::WindowShared> shared_;
+  std::vector<HeldLock> held_;  ///< this rank's epoch state per target
+};
+
+}  // namespace dds::simmpi

@@ -1,0 +1,55 @@
+// DataLoader: the torch.utils.data.DataLoader-like facade (§3.2).
+//
+// Combines a Sampler with a DataBackend and yields collated GraphBatches,
+// recording the per-sample loading latency the paper's Fig. 6/12 report.
+#pragma once
+
+#include <optional>
+
+#include "common/stats.hpp"
+#include "graph/batch.hpp"
+#include "train/backend.hpp"
+#include "train/sampler.hpp"
+
+namespace dds::train {
+
+class DataLoader {
+ public:
+  DataLoader(DataBackend& backend, Sampler& sampler,
+             model::VirtualClock& clock)
+      : backend_(&backend), sampler_(&sampler), clock_(&clock) {}
+
+  /// Collective: prepares the epoch's permutation and resets the cursor.
+  void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) {
+    sampler_->begin_epoch(epoch, comm);
+    backend_->epoch_start();
+    step_ = 0;
+  }
+
+  /// Loads and collates the next batch; nullopt at epoch end.
+  std::optional<graph::GraphBatch> next() {
+    if (step_ >= sampler_->steps_per_epoch()) return std::nullopt;
+    const auto ids = sampler_->batch_ids(step_++);
+    std::vector<graph::GraphSample> samples;
+    samples.reserve(ids.size());
+    for (const auto id : ids) {
+      const double t0 = clock_->now();
+      samples.push_back(backend_->load(id));
+      latencies_.add(clock_->now() - t0);
+    }
+    return graph::GraphBatch::collate(samples);
+  }
+
+  std::uint64_t steps_per_epoch() const { return sampler_->steps_per_epoch(); }
+  const LatencyRecorder& latencies() const { return latencies_; }
+  void reset_latencies() { latencies_ = LatencyRecorder{}; }
+
+ private:
+  DataBackend* backend_;
+  Sampler* sampler_;
+  model::VirtualClock* clock_;
+  LatencyRecorder latencies_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace dds::train

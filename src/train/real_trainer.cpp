@@ -1,0 +1,104 @@
+#include "train/real_trainer.hpp"
+
+namespace dds::train {
+
+RealTrainer::RealTrainer(simmpi::Comm& comm, DataBackend& backend,
+                         RealTrainerConfig config)
+    : comm_(comm),
+      backend_(&backend),
+      config_(config),
+      train_size_(static_cast<std::uint64_t>(
+          static_cast<double>(backend.num_samples()) *
+          config.train_fraction)),
+      val_size_((backend.num_samples() - train_size_) / 2),
+      test_size_(backend.num_samples() - train_size_ - val_size_),
+      model_(config.gnn, config.seed),
+      optimizer_(model_.parameters(), config.optimizer),
+      scheduler_(optimizer_, config.plateau_factor, config.plateau_patience),
+      train_sampler_(train_size_, config.local_batch, config.seed) {
+  DDS_CHECK_MSG(train_size_ >= config.local_batch *
+                                   static_cast<std::uint64_t>(comm.size()),
+                "training split smaller than one global batch");
+}
+
+gnn::Tensor RealTrainer::targets_of(const graph::GraphBatch& batch) {
+  gnn::Tensor y(batch.num_graphs, batch.target_dim);
+  y.v = batch.y;
+  return y;
+}
+
+TrainEpochResult RealTrainer::run_epoch(std::uint64_t epoch) {
+  train_sampler_.begin_epoch(epoch, comm_);
+  backend_->epoch_start();
+
+  double loss_sum = 0;
+  const std::uint64_t steps = train_sampler_.steps_per_epoch();
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const auto ids = train_sampler_.batch_ids(step);
+    std::vector<graph::GraphSample> samples;
+    samples.reserve(ids.size());
+    for (const auto id : ids) samples.push_back(backend_->load(id));
+    const auto batch = graph::GraphBatch::collate(samples);
+    const gnn::Tensor target = targets_of(batch);
+
+    model_.zero_grad();
+    const gnn::Tensor pred = model_.forward(batch);
+    gnn::Tensor dpred;
+    loss_sum += gnn::mse_loss(pred, target, &dpred);
+    model_.backward(dpred, batch);
+
+    // DDP steps iv-v: aggregate gradients, then update local replicas.
+    auto flat = model_.flatten_grads();
+    comm_.allreduce_inplace(std::span<float>(flat), simmpi::Op::Sum);
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    for (auto& g : flat) g *= inv_n;
+    model_.load_grads(flat);
+    optimizer_.step();
+  }
+
+  TrainEpochResult result;
+  result.epoch = epoch;
+  result.train_loss =
+      comm_.allreduce(loss_sum / static_cast<double>(std::max<std::uint64_t>(
+                                     steps, 1)),
+                      simmpi::Op::Sum) /
+      comm_.size();
+  result.val_loss = evaluate(train_size_, val_size_);
+  result.test_loss = evaluate(train_size_ + val_size_, test_size_);
+  result.lr_reduced = scheduler_.step(result.val_loss);
+  result.lr = optimizer_.lr();
+  return result;
+}
+
+double RealTrainer::evaluate(std::uint64_t first, std::uint64_t count) {
+  DDS_CHECK(count > 0);
+  // Each rank evaluates a contiguous slice; losses are sample-weighted.
+  const auto n = static_cast<std::uint64_t>(comm_.size());
+  const auto r = static_cast<std::uint64_t>(comm_.rank());
+  const std::uint64_t lo = first + count * r / n;
+  const std::uint64_t hi = first + count * (r + 1) / n;
+
+  double weighted_loss = 0;
+  std::uint64_t evaluated = 0;
+  const std::uint64_t eval_batch = config_.local_batch;
+  for (std::uint64_t base = lo; base < hi; base += eval_batch) {
+    const std::uint64_t end = std::min(hi, base + eval_batch);
+    std::vector<graph::GraphSample> samples;
+    samples.reserve(end - base);
+    for (std::uint64_t id = base; id < end; ++id) {
+      samples.push_back(backend_->load(id));
+    }
+    const auto batch = graph::GraphBatch::collate(samples);
+    const gnn::Tensor pred = model_.forward(batch);
+    const double loss = gnn::mse_loss(pred, targets_of(batch), nullptr);
+    weighted_loss += loss * static_cast<double>(end - base);
+    evaluated += end - base;
+  }
+  const double total_loss =
+      comm_.allreduce(weighted_loss, simmpi::Op::Sum);
+  const double total_count = comm_.allreduce(
+      static_cast<double>(evaluated), simmpi::Op::Sum);
+  return total_loss / std::max(total_count, 1.0);
+}
+
+}  // namespace dds::train

@@ -1,0 +1,67 @@
+// Real DDP training with the CPU GNN — used where the *math* matters:
+// the convergence experiment (the paper's Fig. 13) and correctness tests.
+//
+// Follows the paper's recipe (§4.2): 80/10/10 train/validation/test split,
+// AdamW with default parameters, initial LR 1e-3, ReduceLROnPlateau on the
+// validation loss, MSE loss.  Gradients are all-reduced and averaged
+// across ranks each step (DDP, Fig. 1 steps iv-v); each rank starts from
+// the same seed, so replicas stay bit-identical without a broadcast.
+#pragma once
+
+#include "gnn/model.hpp"
+#include "gnn/optim.hpp"
+#include "train/loader.hpp"
+
+namespace dds::train {
+
+struct RealTrainerConfig {
+  gnn::GnnConfig gnn;
+  gnn::AdamWConfig optimizer;
+  std::uint64_t local_batch = 8;
+  std::uint64_t seed = 1;
+  double train_fraction = 0.8;  ///< remainder split evenly val/test
+  double plateau_factor = 0.5;
+  int plateau_patience = 10;
+};
+
+struct TrainEpochResult {
+  std::uint64_t epoch = 0;
+  double train_loss = 0;
+  double val_loss = 0;
+  double test_loss = 0;
+  double lr = 0;
+  bool lr_reduced = false;
+};
+
+class RealTrainer {
+ public:
+  RealTrainer(simmpi::Comm& comm, DataBackend& backend,
+              RealTrainerConfig config);
+
+  /// Collective: one epoch of training + validation/test evaluation.
+  TrainEpochResult run_epoch(std::uint64_t epoch);
+
+  gnn::HydraGnnModel& model() { return model_; }
+  std::uint64_t train_size() const { return train_size_; }
+  std::uint64_t val_size() const { return val_size_; }
+  std::uint64_t test_size() const { return test_size_; }
+
+ private:
+  /// Mean MSE over an id range, evaluated in parallel across ranks.
+  double evaluate(std::uint64_t first, std::uint64_t count);
+
+  static gnn::Tensor targets_of(const graph::GraphBatch& batch);
+
+  simmpi::Comm comm_;
+  DataBackend* backend_;
+  RealTrainerConfig config_;
+  std::uint64_t train_size_;
+  std::uint64_t val_size_;
+  std::uint64_t test_size_;
+  gnn::HydraGnnModel model_;
+  gnn::AdamW optimizer_;
+  gnn::ReduceLROnPlateau scheduler_;
+  GlobalShuffleSampler train_sampler_;
+};
+
+}  // namespace dds::train

@@ -1,0 +1,101 @@
+#include "train/sampler.hpp"
+
+namespace dds::train {
+
+// ---- GlobalShuffleSampler ---------------------------------------------------
+
+GlobalShuffleSampler::GlobalShuffleSampler(std::uint64_t num_samples,
+                                           std::uint64_t local_batch,
+                                           std::uint64_t seed,
+                                           std::uint64_t first_id)
+    : num_samples_(num_samples),
+      batch_(local_batch),
+      seed_(seed),
+      first_id_(first_id) {
+  DDS_CHECK(num_samples > 0);
+  DDS_CHECK(local_batch > 0);
+}
+
+void GlobalShuffleSampler::begin_epoch(std::uint64_t epoch,
+                                       simmpi::Comm& comm) {
+  nranks_ = comm.size();
+  rank_ = comm.rank();
+  // All ranks derive the identical permutation from (seed, epoch); rank 0
+  // materializes it once and peers share the in-process copy.
+  perm_ = comm.share<std::vector<std::uint64_t>>(0, [&] {
+    Rng rng = Rng(seed_).stream(epoch);
+    auto p = std::make_shared<std::vector<std::uint64_t>>(
+        rng.permutation(num_samples_));
+    if (first_id_ != 0) {
+      for (auto& id : *p) id += first_id_;
+    }
+    return p;
+  });
+}
+
+std::uint64_t GlobalShuffleSampler::steps_per_epoch() const {
+  return num_samples_ / (batch_ * static_cast<std::uint64_t>(nranks_));
+}
+
+std::vector<std::uint64_t> GlobalShuffleSampler::batch_ids(
+    std::uint64_t step) const {
+  DDS_CHECK_MSG(perm_ != nullptr, "begin_epoch not called");
+  DDS_CHECK(step < steps_per_epoch());
+  const std::uint64_t global_batch =
+      batch_ * static_cast<std::uint64_t>(nranks_);
+  const std::uint64_t base =
+      step * global_batch + static_cast<std::uint64_t>(rank_) * batch_;
+  return std::vector<std::uint64_t>(perm_->begin() + static_cast<std::ptrdiff_t>(base),
+                                    perm_->begin() + static_cast<std::ptrdiff_t>(base + batch_));
+}
+
+// ---- LocalShuffleSampler ----------------------------------------------------
+
+LocalShuffleSampler::LocalShuffleSampler(std::uint64_t num_samples,
+                                         std::uint64_t local_batch,
+                                         std::uint64_t seed,
+                                         std::uint64_t first_id)
+    : num_samples_(num_samples),
+      batch_(local_batch),
+      seed_(seed),
+      first_id_(first_id) {
+  DDS_CHECK(num_samples > 0);
+  DDS_CHECK(local_batch > 0);
+}
+
+std::pair<std::uint64_t, std::uint64_t> LocalShuffleSampler::shard() const {
+  const auto n = static_cast<std::uint64_t>(nranks_);
+  const auto r = static_cast<std::uint64_t>(rank_);
+  return {first_id_ + num_samples_ * r / n,
+          first_id_ + num_samples_ * (r + 1) / n};
+}
+
+void LocalShuffleSampler::begin_epoch(std::uint64_t epoch,
+                                      simmpi::Comm& comm) {
+  nranks_ = comm.size();
+  rank_ = comm.rank();
+  const auto [first, last] = shard();
+  local_perm_.resize(last - first);
+  for (std::uint64_t i = 0; i < local_perm_.size(); ++i) {
+    local_perm_[i] = first + i;
+  }
+  Rng rng = Rng(seed_).stream(epoch * 100'003 +
+                              static_cast<std::uint64_t>(rank_));
+  rng.shuffle(local_perm_);
+}
+
+std::uint64_t LocalShuffleSampler::steps_per_epoch() const {
+  return local_perm_.size() / batch_;
+}
+
+std::vector<std::uint64_t> LocalShuffleSampler::batch_ids(
+    std::uint64_t step) const {
+  DDS_CHECK_MSG(!local_perm_.empty(), "begin_epoch not called");
+  DDS_CHECK(step < steps_per_epoch());
+  const std::uint64_t base = step * batch_;
+  return std::vector<std::uint64_t>(
+      local_perm_.begin() + static_cast<std::ptrdiff_t>(base),
+      local_perm_.begin() + static_cast<std::ptrdiff_t>(base + batch_));
+}
+
+}  // namespace dds::train

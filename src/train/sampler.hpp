@@ -1,0 +1,85 @@
+// Distributed samplers (§2.2 of the paper).
+//
+// GlobalShuffleSampler: one permutation of the whole dataset per epoch,
+// identical on every rank (same seed); rank r takes the r-th slice of each
+// global batch.  This is the access pattern that makes file-based loaders
+// slow and that DDStore serves from memory.
+//
+// LocalShuffleSampler: the "data sharding with local shuffling" baseline —
+// each rank shuffles only its own contiguous shard.  Cheap, but samples
+// never cross shard boundaries across epochs (the generality problem the
+// paper cites as motivation for global shuffling).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace dds::train {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Collective (for samplers that need coordination): prepares an epoch.
+  virtual void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) = 0;
+
+  /// Full batches this rank executes per epoch (partial tails dropped,
+  /// as PyTorch's DistributedSampler with drop_last does).
+  virtual std::uint64_t steps_per_epoch() const = 0;
+
+  /// Sample ids this rank loads at `step` (size = local batch).
+  virtual std::vector<std::uint64_t> batch_ids(std::uint64_t step) const = 0;
+
+  virtual std::uint64_t local_batch() const = 0;
+};
+
+class GlobalShuffleSampler final : public Sampler {
+ public:
+  /// Samples ids in [first_id, first_id + num_samples).
+  GlobalShuffleSampler(std::uint64_t num_samples, std::uint64_t local_batch,
+                       std::uint64_t seed, std::uint64_t first_id = 0);
+
+  void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) override;
+  std::uint64_t steps_per_epoch() const override;
+  std::vector<std::uint64_t> batch_ids(std::uint64_t step) const override;
+  std::uint64_t local_batch() const override { return batch_; }
+
+ private:
+  std::uint64_t num_samples_;
+  std::uint64_t batch_;
+  std::uint64_t seed_;
+  std::uint64_t first_id_;
+  int nranks_ = 1;
+  int rank_ = 0;
+  /// The epoch permutation, one in-process copy shared by all ranks (each
+  /// rank would derive the identical permutation from the common seed).
+  std::shared_ptr<const std::vector<std::uint64_t>> perm_;
+};
+
+class LocalShuffleSampler final : public Sampler {
+ public:
+  LocalShuffleSampler(std::uint64_t num_samples, std::uint64_t local_batch,
+                      std::uint64_t seed, std::uint64_t first_id = 0);
+
+  void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) override;
+  std::uint64_t steps_per_epoch() const override;
+  std::vector<std::uint64_t> batch_ids(std::uint64_t step) const override;
+  std::uint64_t local_batch() const override { return batch_; }
+
+  /// This rank's shard bounds (for tests): [first, last).
+  std::pair<std::uint64_t, std::uint64_t> shard() const;
+
+ private:
+  std::uint64_t num_samples_;
+  std::uint64_t batch_;
+  std::uint64_t seed_;
+  std::uint64_t first_id_;
+  int nranks_ = 1;
+  int rank_ = 0;
+  std::vector<std::uint64_t> local_perm_;
+};
+
+}  // namespace dds::train

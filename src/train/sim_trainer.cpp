@@ -1,0 +1,131 @@
+#include "train/sim_trainer.hpp"
+
+#include <deque>
+
+namespace dds::train {
+
+SimulatedTrainer::SimulatedTrainer(simmpi::Comm& comm, DataBackend& backend,
+                                   Sampler& sampler,
+                                   const model::MachineConfig& machine,
+                                   SimTrainerConfig config)
+    : comm_(comm),
+      backend_(&backend),
+      sampler_(&sampler),
+      compute_(machine),
+      config_(config),
+      loader_(backend, sampler, comm.clock()),
+      grad_bytes_(model::hydragnn_param_bytes(config.input_dim,
+                                              config.output_dim)) {
+  DDS_CHECK(config.prefetch_depth >= 1);
+}
+
+EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
+  auto& clock = comm_.clock();
+  auto& net = comm_.runtime().network();
+
+  comm_.barrier();  // all ranks enter the epoch together
+  const double epoch_begin = clock.now();
+  const PhaseProfile profile_at_start = profile_;
+  loader_.begin_epoch(epoch, comm_);
+
+  double gpu_free = clock.now();
+  std::deque<double> gpu_done_history;
+  const std::uint64_t steps = sampler_->steps_per_epoch();
+  const std::uint64_t nominal_batch_payload =
+      sampler_->local_batch() * backend_->nominal_sample_bytes();
+
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    // Cross-rank CPU sync: the previous step's gradient all-reduce finished
+    // at the same instant on every rank, so loader timelines re-align here.
+    // (This also keeps virtual-clock skew bounded, which the shared-resource
+    // queueing model requires — see BusyResource's contract.)
+    {
+      const auto cpu_now = comm_.allgather_untimed(clock.now());
+      double max_cpu = clock.now();
+      for (const double t : cpu_now) max_cpu = std::max(max_cpu, t);
+      clock.advance_to(max_cpu);
+    }
+    // Bounded prefetch: the CPU may not start batch s until the GPU has
+    // finished batch s - prefetch_depth (buffer back-pressure).
+    if (gpu_done_history.size() >=
+        static_cast<std::size_t>(config_.prefetch_depth)) {
+      clock.advance_to(gpu_done_history.front());
+      gpu_done_history.pop_front();
+    }
+
+    // ---- CPU: load ----
+    const double t_load0 = clock.now();
+    const auto batch = loader_.next();
+    DDS_CHECK(batch.has_value());
+    profile_.add(Phase::Load, clock.now() - t_load0);
+    if (tracer_ != nullptr) {
+      tracer_->record("DataLoader::load_batch", clock.now() - t_load0);
+    }
+
+    // ---- CPU: collate ----
+    const model::BatchShape shape{batch->num_graphs, batch->num_nodes,
+                                  batch->num_edges(), config_.output_dim};
+    const double t_batch = compute_.batching_time(shape,
+                                                  nominal_batch_payload);
+    clock.advance(t_batch);
+    profile_.add(Phase::Batch, t_batch);
+    if (tracer_ != nullptr) tracer_->record("Batch::collate", t_batch);
+    const double cpu_done = clock.now();
+
+    // ---- GPU: forward + backward (overlapped with CPU of later steps) ----
+    const double gpu_start = std::max(gpu_free, cpu_done);
+    const double fb = compute_.forward_backward_time(shape);
+    const double gpu_done = gpu_start + fb;
+    profile_.add(Phase::Forward, fb / 3.0);
+    profile_.add(Phase::Backward, 2.0 * fb / 3.0);
+
+    // ---- gradient all-reduce: starts when the slowest rank finishes ----
+    const auto all_done = comm_.allgather_untimed(gpu_done);
+    double max_done = gpu_done;
+    for (const double d : all_done) max_done = std::max(max_done, d);
+    const double comm_end =
+        net.allreduce_time(comm_.size(), grad_bytes_, max_done);
+    profile_.add(Phase::GradComm, comm_end - gpu_done);
+
+    // ---- optimizer ----
+    const double t_opt = compute_.optimizer_time(grad_bytes_);
+    profile_.add(Phase::Optimizer, t_opt);
+    gpu_free = comm_end + t_opt;
+    gpu_done_history.push_back(gpu_free);
+    if (tracer_ != nullptr) {
+      tracer_->record("Model::forward", fb / 3.0);
+      tracer_->record("Model::backward", 2.0 * fb / 3.0);
+      tracer_->record("MPI_Allreduce(gradients)", comm_end - gpu_done);
+      tracer_->record("AdamW::step", t_opt);
+    }
+  }
+
+  // The epoch ends when this rank's GPU pipeline drains.
+  clock.advance_to(gpu_free);
+  const double local_duration = clock.now() - epoch_begin;
+  const double epoch_seconds =
+      comm_.allreduce(local_duration, simmpi::Op::Max);
+
+  EpochReport report;
+  report.epoch = epoch;
+  report.epoch_seconds = epoch_seconds;
+  report.global_samples = steps * sampler_->local_batch() *
+                          static_cast<std::uint64_t>(comm_.size());
+  report.throughput =
+      epoch_seconds > 0
+          ? static_cast<double>(report.global_samples) / epoch_seconds
+          : 0.0;
+  report.mean_profile = profile_.diff(profile_at_start).allreduce_mean(comm_);
+  return report;
+}
+
+LatencyRecorder SimulatedTrainer::gather_latencies() {
+  const auto& mine = loader_.latencies().raw();
+  const auto all =
+      comm_.gatherv(std::span<const double>(mine.data(), mine.size()), 0);
+  LatencyRecorder out(all.size());
+  for (const double v : all) out.add(v);
+  return out;
+}
+
+}  // namespace dds::train

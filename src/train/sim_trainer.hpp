@@ -1,0 +1,74 @@
+// Simulated DDP training loop (the measurement harness for the paper's
+// throughput, breakdown, and scaling figures).
+//
+// Per step, following Fig. 1 of the paper: the CPU loads and collates the
+// batch (real sample movement, virtual time); GPU forward/backward and the
+// optimizer are charged from the ComputeModel; gradients all-reduce across
+// ranks (ring model).  CPU data preparation for step s+1 overlaps the GPU's
+// step s up to a bounded prefetch depth, matching PyTorch's DataLoader
+// pipelining the paper describes (§2.2) — so end-to-end time is
+// max(CPU pipeline, GPU pipeline), and a loader slower than compute shows
+// up as GPU-Comm stall, exactly the effect discussed around Fig. 5.
+#pragma once
+
+#include "model/compute.hpp"
+#include "train/loader.hpp"
+#include "train/profiler.hpp"
+#include "train/trace.hpp"
+
+namespace dds::train {
+
+struct SimTrainerConfig {
+  std::uint64_t input_dim = 6;
+  /// Nominal head width (paper-scale; e.g. 37,500 for AISD-Ex smooth even
+  /// when the materialized target is smaller).
+  std::uint64_t output_dim = 1;
+  int prefetch_depth = 2;  ///< batches the CPU may run ahead of the GPU
+};
+
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  double epoch_seconds = 0;       ///< max across ranks
+  std::uint64_t global_samples = 0;
+  double throughput = 0;          ///< samples / second, job-wide
+  PhaseProfile mean_profile;      ///< mean per-rank phase seconds
+};
+
+class SimulatedTrainer {
+ public:
+  SimulatedTrainer(simmpi::Comm& comm, DataBackend& backend, Sampler& sampler,
+                   const model::MachineConfig& machine,
+                   SimTrainerConfig config = {});
+
+  /// Collective: runs one epoch; every rank returns the same report.
+  EpochReport run_epoch(std::uint64_t epoch);
+
+  /// Per-sample loading latencies recorded on this rank so far.
+  const LatencyRecorder& sample_latencies() const {
+    return loader_.latencies();
+  }
+  void reset_latencies() { loader_.reset_latencies(); }
+
+  /// Collective: concatenates every rank's latencies on rank 0.
+  LatencyRecorder gather_latencies();
+
+  std::uint64_t gradient_bytes() const { return grad_bytes_; }
+  const PhaseProfile& local_profile() const { return profile_; }
+
+  /// Optional Score-P-style tracer: named regions with call counts are
+  /// recorded on this rank (Fig. 7).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  simmpi::Comm comm_;
+  DataBackend* backend_;
+  Sampler* sampler_;
+  model::ComputeModel compute_;
+  SimTrainerConfig config_;
+  DataLoader loader_;
+  std::uint64_t grad_bytes_;
+  PhaseProfile profile_;   ///< cumulative across epochs (this rank)
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace dds::train

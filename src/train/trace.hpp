@@ -1,0 +1,92 @@
+// Score-P-style region tracer (per-function time + call counts).
+//
+// The paper profiles HydraGNN+DDStore with Score-P (Fig. 7); this utility
+// reproduces that view: RAII regions accumulate virtual seconds and call
+// counts per name, rank traces merge, and ranked() yields the familiar
+// "time per function" table.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/clock.hpp"
+
+namespace dds::train {
+
+class Tracer {
+ public:
+  struct Entry {
+    std::uint64_t calls = 0;
+    double seconds = 0;
+  };
+
+  /// RAII region: charges the enclosing span of virtual time on destruction.
+  class Region {
+   public:
+    Region(Tracer* tracer, std::string name, model::VirtualClock& clock)
+        : tracer_(tracer), name_(std::move(name)), clock_(&clock),
+          t0_(clock.now()) {}
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+    ~Region() {
+      if (tracer_ != nullptr) {
+        tracer_->record(name_, clock_->now() - t0_);
+      }
+    }
+
+   private:
+    Tracer* tracer_;
+    std::string name_;
+    model::VirtualClock* clock_;
+    double t0_;
+  };
+
+  void record(const std::string& name, double seconds) {
+    record_n(name, 1, seconds);
+  }
+
+  /// Bulk accounting: `calls` invocations totalling `seconds` (used when a
+  /// lower layer reports aggregate counters rather than per-call events).
+  void record_n(const std::string& name, std::uint64_t calls,
+                double seconds) {
+    DDS_CHECK(seconds >= -1e-12);
+    auto& e = entries_[name];
+    e.calls += calls;
+    e.seconds += seconds;
+  }
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+  double total_seconds() const {
+    double s = 0;
+    for (const auto& [_, e] : entries_) s += e.seconds;
+    return s;
+  }
+
+  /// Regions sorted by descending total time (the Score-P table).
+  std::vector<std::pair<std::string, Entry>> ranked() const {
+    std::vector<std::pair<std::string, Entry>> out(entries_.begin(),
+                                                   entries_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second.seconds > b.second.seconds;
+    });
+    return out;
+  }
+
+  void merge(const Tracer& other) {
+    for (const auto& [name, e] : other.entries_) {
+      auto& mine = entries_[name];
+      mine.calls += e.calls;
+      mine.seconds += e.seconds;
+    }
+  }
+
+  void reset() { entries_.clear(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dds::train

@@ -1,0 +1,86 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dds {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteBuffer buf;
+  BinaryWriter w(buf);
+  w.write<std::uint32_t>(0xdeadbeef);
+  w.write<double>(3.5);
+  w.write<std::int8_t>(-7);
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read<std::int8_t>(), -7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, RoundTripStringAndVector) {
+  ByteBuffer buf;
+  BinaryWriter w(buf);
+  w.write_string("hello ddstore");
+  w.write_vector(std::vector<float>{1.0f, -2.0f, 0.5f});
+  w.write_string("");
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_string(), "hello ddstore");
+  const auto v = r.read_vector<float>();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_FLOAT_EQ(v[1], -2.0f);
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, TruncationThrowsDataError) {
+  ByteBuffer buf;
+  BinaryWriter w(buf);
+  w.write<std::uint64_t>(100);  // claims a 100-byte string follows
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_string(), DataError);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  ByteBuffer buf(4);
+  BinaryReader r(buf);
+  EXPECT_NO_THROW(r.read<std::uint32_t>());
+  EXPECT_THROW(r.read<std::uint8_t>(), DataError);
+}
+
+TEST(Bytes, SkipAndRemaining) {
+  ByteBuffer buf(16);
+  BinaryReader r(buf);
+  r.skip(10);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(r.position(), 10u);
+  EXPECT_THROW(r.skip(7), DataError);
+}
+
+TEST(Bytes, ReadBytesReturnsView) {
+  ByteBuffer buf;
+  BinaryWriter w(buf);
+  w.write<std::uint8_t>(1);
+  w.write<std::uint8_t>(2);
+  w.write<std::uint8_t>(3);
+  BinaryReader r(buf);
+  const auto s = r.read_bytes(2);
+  EXPECT_EQ(std::to_integer<int>(s[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(s[1]), 2);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Bytes, EmptyVectorRoundTrip) {
+  ByteBuffer buf;
+  BinaryWriter w(buf);
+  w.write_vector(std::vector<std::uint64_t>{});
+  BinaryReader r(buf);
+  EXPECT_TRUE(r.read_vector<std::uint64_t>().empty());
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dds {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(LatencyRecorder, PercentilesOnKnownData) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(static_cast<double>(i));
+  EXPECT_NEAR(rec.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(rec.percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(rec.median(), 50.5, 1e-12);
+  EXPECT_NEAR(rec.percentile(95), 95.05, 1e-9);
+  EXPECT_NEAR(rec.percentile(99), 99.01, 1e-9);
+}
+
+TEST(LatencyRecorder, SingleSample) {
+  LatencyRecorder rec;
+  rec.add(0.42);
+  EXPECT_DOUBLE_EQ(rec.median(), 0.42);
+  EXPECT_DOUBLE_EQ(rec.percentile(99), 0.42);
+  EXPECT_DOUBLE_EQ(rec.min(), 0.42);
+  EXPECT_DOUBLE_EQ(rec.max(), 0.42);
+}
+
+TEST(LatencyRecorder, EmptyThrows) {
+  LatencyRecorder rec;
+  EXPECT_THROW(rec.median(), InternalError);
+}
+
+TEST(LatencyRecorder, CdfAt) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rec.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rec.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(rec.cdf_at(10.0), 1.0);
+}
+
+TEST(LatencyRecorder, CdfCurveMonotone) {
+  LatencyRecorder rec;
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) rec.add(r.exponential(1.0));
+  const auto curve = rec.cdf_curve(32);
+  ASSERT_EQ(curve.size(), 32u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Geomean, KnownValues) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, 0.0}), InternalError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,268 @@
+#include "core/ddstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.hpp"
+#include "formats/cff.hpp"
+#include "formats/pff.hpp"
+
+namespace dds::core {
+namespace {
+
+using datagen::DatasetKind;
+using model::test_machine;
+
+constexpr std::uint64_t kSamples = 64;
+
+/// Shared fixture: a staged dataset on the simulated FS.
+class DDStoreTest : public ::testing::Test {
+ protected:
+  DDStoreTest()
+      : machine_(test_machine()),
+        fs_(machine_.fs, /*nnodes=*/4),
+        ds_(datagen::make_dataset(DatasetKind::AisdHomoLumo, kSamples, 7)) {
+    formats::CffWriter::stage(fs_, "cff/ds", *ds_, 2);
+    formats::PffWriter::stage(fs_, "pff/ds", *ds_);
+  }
+
+  fs::FsClient client_for(simmpi::Comm& c) {
+    return fs::FsClient(fs_, machine_.node_of_rank(c.world_rank()), c.clock(),
+                        c.rng());
+  }
+
+  formats::CffReader cff_reader() {
+    return formats::CffReader(fs_, "cff/ds",
+                              ds_->spec().nominal_cff_sample_bytes());
+  }
+
+  model::MachineConfig machine_;
+  fs::ParallelFileSystem fs_;
+  std::unique_ptr<datagen::SyntheticDataset> ds_;
+};
+
+TEST_F(DDStoreTest, SingleReplicaFetchesEverySampleCorrectly) {
+  simmpi::Runtime rt(8, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);  // default width = 8, one replica
+    EXPECT_EQ(store.width(), 8);
+    EXPECT_EQ(store.num_replicas(), 1);
+    EXPECT_EQ(store.num_samples(), kSamples);
+    for (std::uint64_t id = 0; id < kSamples; ++id) {
+      EXPECT_EQ(store.get(id), ds_->make(id)) << "sample " << id;
+    }
+    store.fence();
+  });
+}
+
+TEST_F(DDStoreTest, ReplicatedStoreWidthTwo) {
+  simmpi::Runtime rt(8, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStoreConfig cfg;
+    cfg.width = 2;
+    DDStore store(c, reader, client, cfg);
+    EXPECT_EQ(store.num_replicas(), 4);
+    EXPECT_EQ(store.group().size(), 2);
+    EXPECT_EQ(store.replica_index(), c.rank() / 2);
+    // Every rank can still reach every sample (from inside its group).
+    for (std::uint64_t id = 0; id < kSamples; id += 7) {
+      EXPECT_EQ(store.get(id), ds_->make(id));
+    }
+    store.fence();
+  });
+}
+
+TEST_F(DDStoreTest, WidthMustDivideCommSize) {
+  simmpi::Runtime rt(6, machine_);
+  const auto reader = cff_reader();
+  EXPECT_THROW(rt.run([&](simmpi::Comm& c) {
+                 auto client = client_for(c);
+                 DDStoreConfig cfg;
+                 cfg.width = 4;
+                 DDStore store(c, reader, client, cfg);
+               }),
+               ConfigError);
+}
+
+TEST_F(DDStoreTest, LocalityFollowsPlacement) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);  // width 4: block placement
+    const ChunkAssignment a(kSamples, 4, Placement::Block);
+    for (std::uint64_t id = 0; id < kSamples; ++id) {
+      EXPECT_EQ(store.owner_of(id), a.owner_of(id));
+      EXPECT_EQ(store.is_local(id), a.owner_of(id) == c.rank());
+    }
+  });
+}
+
+TEST_F(DDStoreTest, StatsDistinguishLocalAndRemote) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);
+    store.reset_stats();
+    // Fetch one local and one remote sample.
+    const ChunkAssignment a(kSamples, 4, Placement::Block);
+    std::uint64_t local_id = 0, remote_id = 0;
+    for (std::uint64_t id = 0; id < kSamples; ++id) {
+      if (a.owner_of(id) == c.rank()) local_id = id;
+      if (a.owner_of(id) == (c.rank() + 1) % 4) remote_id = id;
+    }
+    store.get(local_id);
+    store.get(remote_id);
+    EXPECT_EQ(store.stats().local_gets, 1u);
+    EXPECT_EQ(store.stats().remote_gets, 1u);
+    EXPECT_EQ(store.stats().latency.count(), 2u);
+    EXPECT_GT(store.stats().bytes_fetched, 0u);
+    // Nominal accounting uses the paper-scale sample size.
+    EXPECT_EQ(store.stats().nominal_bytes_fetched,
+              2 * reader.nominal_sample_bytes());
+    EXPECT_GT(store.stats().nominal_bytes_fetched,
+              store.stats().bytes_fetched);
+  });
+}
+
+TEST_F(DDStoreTest, LocalFetchIsFasterThanRemote) {
+  simmpi::Runtime rt(8, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);
+    const ChunkAssignment a(kSamples, 8, Placement::Block);
+    std::uint64_t local_id = 0, far_id = 0;
+    for (std::uint64_t id = 0; id < kSamples; ++id) {
+      if (a.owner_of(id) == c.rank()) local_id = id;
+      if (a.owner_of(id) == (c.rank() + 4) % 8) far_id = id;  // other node
+    }
+    const double t0 = c.clock().now();
+    store.get(local_id);
+    const double local_cost = c.clock().now() - t0;
+    const double t1 = c.clock().now();
+    store.get(far_id);
+    const double remote_cost = c.clock().now() - t1;
+    EXPECT_LT(local_cost, remote_cost);
+  });
+}
+
+TEST_F(DDStoreTest, GetBatchPreservesRequestOrder) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);
+    const std::vector<std::uint64_t> ids = {60, 3, 33, 17, 0, 63};
+    const auto batch = store.get_batch(ids);
+    ASSERT_EQ(batch.size(), ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(batch[i].id, ids[i]);
+      EXPECT_EQ(batch[i], ds_->make(ids[i]));
+    }
+  });
+}
+
+TEST_F(DDStoreTest, LockPerTargetBatchMatchesDefault) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStoreConfig cfg;
+    cfg.lock_per_target = true;
+    DDStore store(c, reader, client, cfg);
+    const std::vector<std::uint64_t> ids = {5, 50, 12, 48, 20, 1};
+    const auto batch = store.get_batch(ids);
+    ASSERT_EQ(batch.size(), ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(batch[i], ds_->make(ids[i]));
+    }
+    EXPECT_EQ(store.stats().latency.count(), ids.size());
+  });
+}
+
+TEST_F(DDStoreTest, RoundRobinPlacementWorks) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStoreConfig cfg;
+    cfg.placement = Placement::RoundRobin;
+    DDStore store(c, reader, client, cfg);
+    for (std::uint64_t id = 0; id < kSamples; id += 5) {
+      EXPECT_EQ(store.get(id), ds_->make(id));
+      EXPECT_EQ(store.owner_of(id), static_cast<int>(id % 4));
+    }
+  });
+}
+
+TEST_F(DDStoreTest, WorksWithPffReaderToo) {
+  simmpi::Runtime rt(4, machine_);
+  const formats::PffReader reader(fs_, "pff/ds", kSamples,
+                                  ds_->spec().nominal_pff_sample_bytes());
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);
+    for (std::uint64_t id = 0; id < kSamples; id += 9) {
+      EXPECT_EQ(store.get(id), ds_->make(id));
+    }
+  });
+}
+
+TEST_F(DDStoreTest, PreloadTouchesFsButFetchesDoNot) {
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStore store(c, reader, client);
+    EXPECT_GT(store.stats().preload_seconds, 0.0);
+    const auto opens_after_preload = client.stats().opens;
+    const auto reads_after_preload = client.stats().reads;
+    for (std::uint64_t id = 0; id < kSamples; ++id) store.get(id);
+    // All fetches are in-memory transactions: no new FS activity.
+    EXPECT_EQ(client.stats().opens, opens_after_preload);
+    EXPECT_EQ(client.stats().reads, reads_after_preload);
+  });
+}
+
+TEST_F(DDStoreTest, WidthTwoMakesHalfTheFetchesLocal) {
+  // The paper's Table 3 mechanism: with width=2 roughly half of a uniform
+  // random workload is served from the rank's own chunk.
+  simmpi::Runtime rt(4, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStoreConfig cfg;
+    cfg.width = 2;
+    DDStore store(c, reader, client, cfg);
+    store.reset_stats();
+    for (std::uint64_t id = 0; id < kSamples; ++id) store.get(id);
+    const double local_frac =
+        static_cast<double>(store.stats().local_gets) / kSamples;
+    EXPECT_NEAR(local_frac, 0.5, 0.05);
+  });
+}
+
+TEST_F(DDStoreTest, ReplicaGroupsAreIsolated) {
+  // A fetch in one group must not touch ranks outside the group: the
+  // window is built over the group communicator, so owners are group-local.
+  simmpi::Runtime rt(8, machine_);
+  const auto reader = cff_reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    DDStoreConfig cfg;
+    cfg.width = 4;
+    DDStore store(c, reader, client, cfg);
+    EXPECT_LT(store.owner_of(kSamples - 1), 4);
+    for (std::uint64_t id = 0; id < kSamples; id += 11) {
+      EXPECT_EQ(store.get(id), ds_->make(id));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dds::core

@@ -1,0 +1,117 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dds::core {
+namespace {
+
+TEST(ChunkAssignment, BlockPartitionTilesExactly) {
+  for (const std::uint64_t n : {8ULL, 100ULL, 101ULL, 1000ULL}) {
+    for (const int w : {1, 2, 3, 7, 8}) {
+      if (n < static_cast<std::uint64_t>(w)) continue;
+      const ChunkAssignment a(n, w, Placement::Block);
+      std::uint64_t total = 0;
+      std::uint64_t expect_first = 0;
+      for (int g = 0; g < w; ++g) {
+        const auto ids = a.ids_of(g);
+        EXPECT_EQ(ids.size(), a.chunk_size(g));
+        EXPECT_EQ(ids.front(), expect_first);
+        expect_first = ids.back() + 1;
+        total += ids.size();
+        for (const auto id : ids) EXPECT_EQ(a.owner_of(id), g);
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(ChunkAssignment, RoundRobinPartition) {
+  const ChunkAssignment a(10, 3, Placement::RoundRobin);
+  EXPECT_EQ(a.ids_of(0), (std::vector<std::uint64_t>{0, 3, 6, 9}));
+  EXPECT_EQ(a.ids_of(1), (std::vector<std::uint64_t>{1, 4, 7}));
+  EXPECT_EQ(a.ids_of(2), (std::vector<std::uint64_t>{2, 5, 8}));
+  EXPECT_EQ(a.chunk_size(0), 4u);
+  EXPECT_EQ(a.chunk_size(1), 3u);
+  EXPECT_EQ(a.owner_of(7), 1);
+  EXPECT_EQ(a.local_index(7), 2u);
+}
+
+TEST(ChunkAssignment, LocalIndexMatchesStorageOrder) {
+  for (const auto placement : {Placement::Block, Placement::RoundRobin}) {
+    const ChunkAssignment a(37, 5, placement);
+    for (int g = 0; g < 5; ++g) {
+      const auto ids = a.ids_of(g);
+      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+        EXPECT_EQ(a.local_index(ids[pos]), pos);
+      }
+    }
+  }
+}
+
+TEST(ChunkAssignment, BlockChunkSizesBalanced) {
+  const ChunkAssignment a(1000, 7, Placement::Block);
+  for (int g = 0; g < 7; ++g) {
+    EXPECT_NEAR(static_cast<double>(a.chunk_size(g)), 1000.0 / 7, 1.0);
+  }
+}
+
+TEST(ChunkAssignment, InvalidArgsThrow) {
+  EXPECT_THROW(ChunkAssignment(10, 0, Placement::Block), InternalError);
+  EXPECT_THROW(ChunkAssignment(3, 5, Placement::Block), InternalError);
+  const ChunkAssignment a(10, 2, Placement::Block);
+  EXPECT_THROW(a.owner_of(10), InternalError);
+}
+
+TEST(DataRegistry, BuildAssignsOffsetsAndOwners) {
+  const ChunkAssignment a(5, 2, Placement::Block);
+  // Owner 0 holds ids {0,1}, owner 1 holds {2,3,4}.
+  const std::vector<std::uint32_t> lengths = {10, 20, 30, 40, 50};
+  const std::vector<std::size_t> counts = {2, 3};
+  const auto reg = DataRegistry::build(a, lengths, counts);
+
+  EXPECT_EQ(reg->num_samples(), 5u);
+  EXPECT_EQ(reg->lookup(0).owner, 0u);
+  EXPECT_EQ(reg->lookup(0).offset, 0u);
+  EXPECT_EQ(reg->lookup(1).offset, 10u);
+  EXPECT_EQ(reg->lookup(2).owner, 1u);
+  EXPECT_EQ(reg->lookup(2).offset, 0u);
+  EXPECT_EQ(reg->lookup(4).offset, 70u);
+  EXPECT_EQ(reg->lookup(4).length, 50u);
+  EXPECT_EQ(reg->chunk_bytes(0), 30u);
+  EXPECT_EQ(reg->chunk_bytes(1), 120u);
+  EXPECT_EQ(reg->total_bytes(), 150u);
+}
+
+TEST(DataRegistry, RoundRobinOffsets) {
+  const ChunkAssignment a(4, 2, Placement::RoundRobin);
+  // Owner 0: ids {0, 2} lengths {5, 7}; owner 1: ids {1, 3} lengths {6, 8}.
+  const std::vector<std::uint32_t> lengths = {5, 7, 6, 8};
+  const std::vector<std::size_t> counts = {2, 2};
+  const auto reg = DataRegistry::build(a, lengths, counts);
+  EXPECT_EQ(reg->lookup(2).owner, 0u);
+  EXPECT_EQ(reg->lookup(2).offset, 5u);
+  EXPECT_EQ(reg->lookup(3).owner, 1u);
+  EXPECT_EQ(reg->lookup(3).offset, 6u);
+}
+
+TEST(DataRegistry, MismatchedCountsThrow) {
+  const ChunkAssignment a(5, 2, Placement::Block);
+  const std::vector<std::uint32_t> lengths = {10, 20, 30, 40, 50};
+  const std::vector<std::size_t> bad_counts = {3, 2};  // placement says 2,3
+  EXPECT_THROW(DataRegistry::build(a, lengths, bad_counts), InternalError);
+  const std::vector<std::size_t> short_counts = {2};
+  EXPECT_THROW(DataRegistry::build(a, lengths, short_counts), InternalError);
+}
+
+TEST(DataRegistry, LookupOutOfRangeThrows) {
+  const ChunkAssignment a(2, 2, Placement::Block);
+  const std::vector<std::uint32_t> lengths = {1, 1};
+  const std::vector<std::size_t> counts = {1, 1};
+  const auto reg = DataRegistry::build(a, lengths, counts);
+  EXPECT_THROW(reg->lookup(2), InternalError);
+}
+
+}  // namespace
+}  // namespace dds::core

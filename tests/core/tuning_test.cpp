@@ -1,0 +1,51 @@
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace dds::core {
+namespace {
+
+TEST(SuggestWidth, SmallDatasetAllowsMaximumReplication) {
+  // Dataset fits on every rank: width 1 (a replica per rank).
+  EXPECT_EQ(suggest_width(1 * GiB, 2 * GiB, 64), 1);
+}
+
+TEST(SuggestWidth, PicksSmallestDivisorMeetingBudget) {
+  // 64 GB dataset, 9 GB budget: need width >= 8 (ceil 64/9 = 8); 8 | 64.
+  EXPECT_EQ(suggest_width(64 * GiB, 9 * GiB, 64), 8);
+  // 64 GB, 7 GB budget: need width >= 10 -> next divisor of 64 is 16.
+  EXPECT_EQ(suggest_width(64 * GiB, 7 * GiB, 64), 16);
+}
+
+TEST(SuggestWidth, NonPowerOfTwoRankCounts) {
+  // 384 ranks (Summit 64 nodes): divisors include 12, 24, 48...
+  EXPECT_EQ(suggest_width(60 * GiB, 6 * GiB, 384), 12);  // need >= 10
+  EXPECT_EQ(suggest_width(60 * GiB, 60 * GiB, 384), 1);
+}
+
+TEST(SuggestWidth, ExactFit) {
+  EXPECT_EQ(suggest_width(32 * GiB, 8 * GiB, 16), 4);
+}
+
+TEST(SuggestWidth, FullStripeWhenBudgetTight) {
+  // Only width = nranks fits.
+  EXPECT_EQ(suggest_width(63 * GiB, 1 * GiB, 64), 64);
+}
+
+TEST(SuggestWidth, TooLargeThrows) {
+  EXPECT_THROW(suggest_width(100 * GiB, 1 * GiB, 64), ConfigError);
+  EXPECT_THROW(suggest_width(1 * GiB, 0, 4), ConfigError);
+}
+
+TEST(SuggestWidth, PaperScaleExamples) {
+  // AISD-Ex smooth (1.5 TB CFF) on 1024 Perlmutter GPUs with ~48 GB of
+  // host memory budget per rank: need width >= 32.
+  EXPECT_EQ(suggest_width(1'500'000'000'000ULL, 48 * GiB, 1024), 32);
+  // AISD HOMO-LUMO (60 GB) on 64 GPUs with 8 GB per rank: width 8.
+  EXPECT_EQ(suggest_width(60'000'000'000ULL, 8 * GiB, 64), 8);
+}
+
+}  // namespace
+}  // namespace dds::core

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "datagen/dataset.hpp"
+#include "datagen/ising.hpp"
+#include "datagen/molecule.hpp"
+
+namespace dds::datagen {
+namespace {
+
+TEST(DatasetSpec, Table1Values) {
+  const auto ising = dataset_spec(DatasetKind::Ising);
+  EXPECT_EQ(ising.full_num_graphs, 1'200'000u);
+  EXPECT_NEAR(ising.avg_nodes_per_graph(), 125.8, 0.1);
+  EXPECT_EQ(ising.nominal_pff_sample_bytes(), 20'000u);
+
+  const auto aisd = dataset_spec(DatasetKind::AisdHomoLumo);
+  EXPECT_EQ(aisd.full_num_graphs, 10'500'000u);
+  EXPECT_NEAR(aisd.avg_nodes_per_graph(), 52.4, 0.1);
+  EXPECT_NEAR(aisd.avg_edges_per_graph(), 104.8, 0.1);
+
+  const auto smooth = dataset_spec(DatasetKind::AisdExSmooth);
+  EXPECT_EQ(smooth.target_dim, 37'500u);
+  // 1.5 TB container / 10.5M samples ~ 143 KB per sample.
+  EXPECT_NEAR(static_cast<double>(smooth.nominal_cff_sample_bytes()),
+              142'857.0, 1.0);
+}
+
+TEST(IsingDataset, StructureMatchesLattice) {
+  IsingDataset ds(10, 42);
+  const auto s = ds.make(0);
+  EXPECT_EQ(s.num_nodes, 125u);
+  EXPECT_EQ(s.num_edges(), 750u);  // 3 bonds/site, periodic, both directions
+  EXPECT_EQ(s.node_feature_dim, 2u);
+  EXPECT_EQ(s.y.size(), 1u);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(IsingDataset, SpinsAreBinaryAndEnergyMatchesHamiltonian) {
+  IsingDataset ds(5, 1);
+  const auto s = ds.make(3);
+  std::vector<float> spins(s.num_nodes);
+  for (std::uint32_t i = 0; i < s.num_nodes; ++i) {
+    spins[i] = s.node_features[2 * i];
+    EXPECT_TRUE(spins[i] == 1.0f || spins[i] == -1.0f);
+  }
+  EXPECT_NEAR(s.y[0], ds.energy(spins), 1e-6);
+}
+
+TEST(IsingDataset, AllUpConfigurationHasEnergyMinusJ) {
+  IsingDataset ds(1, 0);
+  const std::vector<float> up(125, 1.0f);
+  EXPECT_DOUBLE_EQ(ds.energy(up), -1.0);  // ferromagnetic ground state
+  std::vector<float> alternating(125);
+  // Checkerboard on odd lattice is frustrated but energy must be in [-1,1].
+  for (std::size_t i = 0; i < 125; ++i) alternating[i] = (i % 2) ? 1.f : -1.f;
+  const double e = ds.energy(alternating);
+  EXPECT_GE(e, -1.0);
+  EXPECT_LE(e, 1.0);
+}
+
+TEST(IsingDataset, DeterministicPerIndex) {
+  IsingDataset a(100, 7), b(100, 7);
+  EXPECT_EQ(a.make(42), b.make(42));
+  EXPECT_NE(a.make(42), a.make(43));
+}
+
+TEST(IsingDataset, OutOfRangeThrows) {
+  IsingDataset ds(10, 0);
+  EXPECT_THROW(ds.make(10), InternalError);
+}
+
+TEST(Molecule, SizesWithinPaperRange) {
+  Rng rng(5);
+  RunningStats nodes;
+  for (int i = 0; i < 500; ++i) {
+    const Molecule m = generate_molecule(rng);
+    EXPECT_GE(m.num_atoms(), kMinHeavyAtoms);
+    EXPECT_LE(m.num_atoms(), kMaxHeavyAtoms);
+    nodes.add(m.num_atoms());
+  }
+  // Paper average is 52.4 atoms/molecule; our generator targets ~49.
+  EXPECT_GT(nodes.mean(), 40.0);
+  EXPECT_LT(nodes.mean(), 58.0);
+}
+
+TEST(Molecule, EdgesPerNodeMatchesTable1Ratio) {
+  Rng rng(6);
+  double nodes = 0, edges = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Molecule m = generate_molecule(rng);
+    nodes += m.num_atoms();
+    edges += 2.0 * static_cast<double>(m.bond_a.size());  // directed
+  }
+  // Table 1: 1.1B directed edges / 550.6M nodes ~ 2.0 per node.
+  EXPECT_NEAR(edges / nodes, 2.0, 0.15);
+}
+
+TEST(Molecule, MostAtomsAreCarbon) {
+  Rng rng(7);
+  double carbon = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Molecule m = generate_molecule(rng);
+    for (auto t : m.atom_type) carbon += (t == 0);
+    total += m.num_atoms();
+  }
+  EXPECT_NEAR(carbon / total, 0.70, 0.05);
+}
+
+TEST(Molecule, SampleConversionIsValid) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const Molecule m = generate_molecule(rng);
+    const auto s = molecule_to_sample(m, static_cast<std::uint64_t>(i));
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_EQ(s.node_feature_dim, kMoleculeFeatureDim);
+    EXPECT_EQ(s.num_edges(), 2 * m.bond_a.size());
+  }
+}
+
+TEST(HomoLumoGap, TrendsWithStructure) {
+  Rng rng(9);
+  // Gap must decrease with molecule size on average.
+  RunningStats small_gaps, large_gaps;
+  for (int i = 0; i < 2000; ++i) {
+    Rng r = rng.stream(static_cast<std::uint64_t>(i));
+    const Molecule m = generate_molecule(r);
+    const double g = homo_lumo_gap(m, r);
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, 8.0);
+    (m.num_atoms() < 30 ? small_gaps : large_gaps).add(g);
+  }
+  EXPECT_GT(small_gaps.mean(), large_gaps.mean());
+}
+
+TEST(UvPeaks, SortedAndNonNegative) {
+  Rng rng(10);
+  const Molecule m = generate_molecule(rng);
+  std::vector<float> pos, inten;
+  uv_peaks(m, rng, pos, inten);
+  ASSERT_EQ(pos.size(), kNumUvPeaks);
+  ASSERT_EQ(inten.size(), kNumUvPeaks);
+  for (std::size_t k = 1; k < pos.size(); ++k) EXPECT_GE(pos[k], pos[k - 1]);
+  for (float v : inten) EXPECT_GE(v, 0.0f);
+  for (float p : pos) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(SmoothSpectrum, MassConservedUnderSmoothing) {
+  // A Gaussian kernel redistributes peak mass; the integral of the smoothed
+  // spectrum ~ sum of intensities * sigma * sqrt(2 pi) / dx spacing.
+  const std::vector<float> pos = {0.5f};
+  const std::vector<float> inten = {2.0f};
+  const std::uint32_t bins = 10'001;
+  const auto spec = smooth_spectrum(pos, inten, bins, 0.01);
+  double integral = 0;
+  for (float v : spec) integral += v;
+  integral /= (bins - 1);  // dx
+  EXPECT_NEAR(integral, 2.0 * 0.01 * std::sqrt(2.0 * 3.14159265), 1e-3);
+}
+
+TEST(SmoothSpectrum, PeakLocationPreserved) {
+  const std::vector<float> pos = {0.25f};
+  const std::vector<float> inten = {1.0f};
+  const auto spec = smooth_spectrum(pos, inten, 101, 0.01);
+  std::size_t argmax = 0;
+  for (std::size_t b = 1; b < spec.size(); ++b) {
+    if (spec[b] > spec[argmax]) argmax = b;
+  }
+  EXPECT_EQ(argmax, 25u);
+}
+
+TEST(SmoothSpectrum, FarBinsAreZero) {
+  const auto spec = smooth_spectrum({0.1f}, {1.0f}, 1001, 0.01);
+  EXPECT_GT(spec[100], 0.5f);
+  EXPECT_FLOAT_EQ(spec[900], 0.0f);  // 80 sigma away
+}
+
+TEST(Datasets, FactoryProducesCorrectTargetDims) {
+  EXPECT_EQ(make_dataset(DatasetKind::Ising, 4, 1)->make(0).y.size(), 1u);
+  EXPECT_EQ(make_dataset(DatasetKind::AisdHomoLumo, 4, 1)->make(0).y.size(),
+            1u);
+  EXPECT_EQ(make_dataset(DatasetKind::AisdExDiscrete, 4, 1)->make(0).y.size(),
+            100u);
+  EXPECT_EQ(make_dataset(DatasetKind::AisdExSmooth, 4, 1)->make(0).y.size(),
+            128u);  // scaled-down actual bins
+  EXPECT_EQ(
+      make_dataset(DatasetKind::AisdExSmoothSmall, 4, 1)->make(0).y.size(),
+      351u);
+}
+
+TEST(Datasets, MoleculeTopologyIdenticalAcrossTargetVariants) {
+  // The three AISD variants describe the same molecules with different
+  // labels; with a common seed, sample i must have identical topology.
+  const auto homo = make_dataset(DatasetKind::AisdHomoLumo, 8, 5);
+  const auto disc = make_dataset(DatasetKind::AisdExDiscrete, 8, 5);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto a = homo->make(i);
+    const auto b = disc->make(i);
+    EXPECT_EQ(a.num_nodes, b.num_nodes);
+    EXPECT_EQ(a.edge_src, b.edge_src);
+    EXPECT_EQ(a.node_features, b.node_features);
+  }
+}
+
+TEST(Datasets, SamplesSerializableRoundTrip) {
+  for (const auto kind : kAllDatasetKinds) {
+    const auto ds = make_dataset(kind, 3, 11);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const auto s = ds->make(i);
+      EXPECT_EQ(graph::GraphSample::deserialize(s.to_bytes()), s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dds::datagen

@@ -1,0 +1,105 @@
+#include "formats/h5f.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.hpp"
+
+namespace dds::formats {
+namespace {
+
+using datagen::DatasetKind;
+using model::test_machine;
+
+class H5fTest : public ::testing::Test {
+ protected:
+  H5fTest()
+      : fs_(test_machine().fs, 2),
+        ds_(datagen::make_dataset(DatasetKind::AisdHomoLumo, 25, 3)),
+        client_(fs_, 0, clock_, rng_) {}
+
+  fs::ParallelFileSystem fs_;
+  std::unique_ptr<datagen::SyntheticDataset> ds_;
+  model::VirtualClock clock_;
+  Rng rng_{4};
+  fs::FsClient client_;
+};
+
+TEST_F(H5fTest, RoundTripAcrossChunkSizes) {
+  for (const std::uint32_t chunk : {1u, 4u, 8u, 25u, 100u}) {
+    const std::string path = "h5-" + std::to_string(chunk);
+    H5fWriter::stage(fs_, path, *ds_, chunk);
+    H5fReader reader(fs_, path, ds_->spec().nominal_cff_sample_bytes());
+    EXPECT_EQ(reader.num_samples(), 25u);
+    EXPECT_EQ(reader.samples_per_chunk(), chunk);
+    EXPECT_EQ(reader.num_chunks(), (25 + chunk - 1) / chunk);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      EXPECT_EQ(reader.read(i, client_), ds_->make(i))
+          << "chunk " << chunk << " sample " << i;
+    }
+  }
+}
+
+TEST_F(H5fTest, RawAndTimedReadsAgree) {
+  H5fWriter::stage(fs_, "h5", *ds_, 4);
+  H5fReader reader(fs_, "h5", 1000);
+  for (std::uint64_t i = 0; i < 25; i += 3) {
+    EXPECT_EQ(reader.read_bytes_raw(i), reader.read_bytes(i, client_));
+  }
+}
+
+TEST_F(H5fTest, ChunkNeighboursBecomeCacheHits) {
+  H5fWriter::stage(fs_, "h5", *ds_, 8);
+  H5fReader reader(fs_, "h5", 1000);
+  const double t0 = clock_.now();
+  reader.read_bytes(0, client_);  // cold: whole chunk through the FS
+  const double cold = clock_.now() - t0;
+  const double t1 = clock_.now();
+  reader.read_bytes(1, client_);  // same chunk: cached blocks
+  const double warm = clock_.now() - t1;
+  EXPECT_LT(warm, cold);
+}
+
+TEST_F(H5fTest, LargerChunksReadMoreNominalBytes) {
+  const auto spec_nominal = ds_->spec().nominal_cff_sample_bytes();
+  H5fWriter::stage(fs_, "small", *ds_, 1);
+  H5fWriter::stage(fs_, "large", *ds_, 25);
+  H5fReader small(fs_, "small", spec_nominal);
+  H5fReader large(fs_, "large", spec_nominal);
+  client_.reset_stats();
+  small.read_bytes(10, client_);
+  const auto small_bytes = client_.stats().nominal_bytes_read;
+  client_.reset_stats();
+  large.read_bytes(10, client_);
+  EXPECT_GT(client_.stats().nominal_bytes_read, small_bytes);
+}
+
+TEST_F(H5fTest, CorruptMagicRejected) {
+  H5fWriter::stage(fs_, "h5", *ds_, 4);
+  ByteBuffer raw = fs_.read_file_raw("h5");
+  raw[0] = std::byte{0x00};
+  fs_.write_file("h5", ByteSpan(raw), fs_.nominal_file_size("h5"));
+  EXPECT_THROW(H5fReader(fs_, "h5", 1000), DataError);
+}
+
+TEST_F(H5fTest, TruncatedFileRejected) {
+  H5fWriter::stage(fs_, "h5", *ds_, 4);
+  ByteBuffer raw = fs_.read_file_raw("h5");
+  raw.resize(raw.size() * 2 / 3);
+  fs_.write_file("h5", ByteSpan(raw));
+  EXPECT_THROW(H5fReader(fs_, "h5", 1000), DataError);
+}
+
+TEST_F(H5fTest, OutOfRangeThrows) {
+  H5fWriter::stage(fs_, "h5", *ds_, 4);
+  H5fReader reader(fs_, "h5", 1000);
+  EXPECT_THROW(reader.read(25, client_), ConfigError);
+}
+
+TEST_F(H5fTest, NominalContainerSizeStamped) {
+  H5fWriter::stage(fs_, "h5", *ds_, 8);
+  EXPECT_GE(fs_.nominal_file_size("h5"),
+            25 * ds_->spec().nominal_cff_sample_bytes());
+}
+
+}  // namespace
+}  // namespace dds::formats

@@ -1,0 +1,75 @@
+#include "fs/pagecache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::fs {
+namespace {
+
+TEST(PageCache, FirstAccessMissesThenHits) {
+  PageCache c(1000);
+  EXPECT_FALSE(c.access(1, 0, 100));
+  EXPECT_TRUE(c.access(1, 0, 100));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.used_bytes(), 100u);
+}
+
+TEST(PageCache, DistinctFilesDistinctBlocks) {
+  PageCache c(1000);
+  EXPECT_FALSE(c.access(1, 0, 100));
+  EXPECT_FALSE(c.access(2, 0, 100));
+  EXPECT_FALSE(c.access(1, 1, 100));
+  EXPECT_TRUE(c.access(1, 0, 100));
+  EXPECT_TRUE(c.access(2, 0, 100));
+  EXPECT_EQ(c.used_bytes(), 300u);
+}
+
+TEST(PageCache, EvictsLeastRecentlyUsed) {
+  PageCache c(300);
+  c.access(1, 0, 100);  // A
+  c.access(1, 1, 100);  // B
+  c.access(1, 2, 100);  // C (full)
+  c.access(1, 0, 100);  // touch A -> B is now LRU
+  c.access(1, 3, 100);  // D evicts B
+  EXPECT_TRUE(c.access(1, 0, 100));   // A still resident
+  EXPECT_FALSE(c.access(1, 1, 100));  // B was evicted
+  EXPECT_LE(c.used_bytes(), 300u);
+}
+
+TEST(PageCache, OversizedBlockNeverCached) {
+  PageCache c(100);
+  EXPECT_FALSE(c.access(1, 0, 500));
+  EXPECT_FALSE(c.access(1, 0, 500));
+  EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(PageCache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  PageCache c(10'000);
+  // Working set of 50 blocks x 100 B = 5 KB fits.
+  for (int b = 0; b < 50; ++b) c.access(7, b, 100);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int b = 0; b < 50; ++b) EXPECT_TRUE(c.access(7, b, 100));
+  }
+}
+
+TEST(PageCache, WorkingSetLargerThanCacheKeepsMissing) {
+  PageCache c(1'000);
+  // 100 blocks x 100 B = 10 KB >> 1 KB cache, cyclic scan: always misses.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int b = 0; b < 100; ++b) EXPECT_FALSE(c.access(9, b, 100));
+  }
+}
+
+TEST(PageCache, ClearResetsEverything) {
+  PageCache c(1000);
+  c.access(1, 0, 100);
+  c.access(1, 0, 100);
+  c.clear();
+  EXPECT_EQ(c.used_bytes(), 0u);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.access(1, 0, 100));
+}
+
+}  // namespace
+}  // namespace dds::fs

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/model.hpp"
+
+namespace dds::gnn {
+namespace {
+
+TEST(TensorOps, LinearForwardKnownValues) {
+  Tensor x(2, 3);
+  x.v = {1, 2, 3, 4, 5, 6};
+  Tensor w(2, 3);  // [out=2 x in=3]
+  w.v = {1, 0, 0, 0, 1, 0};
+  const std::vector<float> b = {10, 20};
+  const Tensor y = linear_forward(x, w, b);
+  ASSERT_EQ(y.rows, 2u);
+  ASSERT_EQ(y.cols, 2u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11);  // x[0].w[0] + 10 = 1 + 10
+  EXPECT_FLOAT_EQ(y.at(0, 1), 22);  // 2 + 20
+  EXPECT_FLOAT_EQ(y.at(1, 0), 14);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 25);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  Tensor x(1, 3), w(2, 4);
+  EXPECT_THROW(linear_forward(x, w, {0, 0}), InternalError);
+}
+
+TEST(LinearLayer, BackwardMatchesNumericalGradient) {
+  Rng rng(1);
+  Linear layer(3, 2, rng, "t");
+  Tensor x(4, 3);
+  for (auto& v : x.v) v = static_cast<float>(rng.normal());
+
+  // Loss = sum(y^2)/2 so dL/dy = y.
+  auto loss_fn = [&](Linear& l) {
+    const Tensor y = l.forward(x);
+    double s = 0;
+    for (float v : y.v) s += 0.5 * v * v;
+    return s;
+  };
+
+  layer.zero_grad();
+  const Tensor y = layer.forward(x);
+  layer.backward(y);
+
+  std::vector<Param> params;
+  layer.collect_params(params);
+  const float eps = 1e-3f;
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p.value->size(); i += 3) {
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const double lp = loss_fn(layer);
+      (*p.value)[i] = orig - eps;
+      const double lm = loss_fn(layer);
+      (*p.value)[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric, 2e-2 * (1 + std::abs(numeric)))
+          << p.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(LinearLayer, BackwardInputGradient) {
+  Rng rng(2);
+  Linear layer(2, 2, rng, "t");
+  Tensor x(1, 2);
+  x.v = {0.5f, -0.3f};
+  const Tensor y = layer.forward(x);
+  Tensor gout(1, 2);
+  gout.v = {1.0f, 0.0f};
+  const Tensor dx = layer.backward(gout);
+  // dx = gout * W = first row of W.
+  EXPECT_FLOAT_EQ(dx.at(0, 0), layer.weight().at(0, 0));
+  EXPECT_FLOAT_EQ(dx.at(0, 1), layer.weight().at(0, 1));
+}
+
+TEST(ReLULayer, ForwardBackwardMask) {
+  ReLU relu;
+  Tensor x(1, 4);
+  x.v = {-1.0f, 0.0f, 2.0f, -3.0f};
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.v[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.v[2], 2.0f);
+  Tensor g(1, 4);
+  g.v = {5, 5, 5, 5};
+  const Tensor dx = relu.backward(g);
+  EXPECT_FLOAT_EQ(dx.v[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx.v[1], 0.0f);  // not strictly positive
+  EXPECT_FLOAT_EQ(dx.v[2], 5.0f);
+  EXPECT_FLOAT_EQ(dx.v[3], 0.0f);
+}
+
+graph::GraphBatch tiny_batch() {
+  // Two graphs: a 3-chain and a 2-chain (bidirectional edges).
+  graph::GraphSample a;
+  a.id = 0;
+  a.num_nodes = 3;
+  a.node_feature_dim = 2;
+  a.node_features = {0.1f, 0.2f, -0.3f, 0.4f, 0.5f, -0.6f};
+  a.edge_src = {0, 1, 1, 2};
+  a.edge_dst = {1, 0, 2, 1};
+  a.y = {1.0f};
+  graph::GraphSample b;
+  b.id = 1;
+  b.num_nodes = 2;
+  b.node_feature_dim = 2;
+  b.node_features = {0.7f, -0.8f, 0.9f, 1.0f};
+  b.edge_src = {0, 1};
+  b.edge_dst = {1, 0};
+  b.y = {-1.0f};
+  const std::vector<graph::GraphSample> samples = {a, b};
+  return graph::GraphBatch::collate(samples);
+}
+
+TEST(PNALayer, ForwardShapeAndDeterminism) {
+  Rng rng(3);
+  PNAConv conv(4, rng, "p");
+  const auto batch = tiny_batch();
+  Tensor h(batch.num_nodes, 4);
+  Rng data_rng(5);
+  for (auto& v : h.v) v = static_cast<float>(data_rng.normal());
+  const Tensor y1 = conv.forward(h, batch);
+  const Tensor y2 = conv.forward(h, batch);
+  EXPECT_EQ(y1.rows, batch.num_nodes);
+  EXPECT_EQ(y1.cols, 4u);
+  EXPECT_EQ(y1.v, y2.v);
+}
+
+TEST(PNALayer, IsolatedNodeIsHandled) {
+  // A single-node graph with no edges must not crash or produce NaN.
+  graph::GraphSample s;
+  s.id = 0;
+  s.num_nodes = 1;
+  s.node_feature_dim = 3;
+  s.node_features = {1.0f, 2.0f, 3.0f};
+  s.y = {0.0f};
+  const std::vector<graph::GraphSample> samples = {s};
+  const auto batch = graph::GraphBatch::collate(samples);
+
+  Rng rng(4);
+  PNAConv conv(3, rng, "p");
+  Tensor h(1, 3);
+  h.v = {1.0f, -1.0f, 0.5f};
+  const Tensor y = conv.forward(h, batch);
+  for (float v : y.v) EXPECT_TRUE(std::isfinite(v));
+  Tensor g(1, 3);
+  g.v = {1, 1, 1};
+  const Tensor dh = conv.backward(g, batch);
+  for (float v : dh.v) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(PNALayer, BackwardMatchesNumericalGradient) {
+  Rng rng(6);
+  const std::size_t H = 3;
+  PNAConv conv(H, rng, "p");
+  const auto batch = tiny_batch();
+  // Project 2-dim features to H first (fixed input h).
+  Tensor h(batch.num_nodes, H);
+  Rng data_rng(7);
+  for (auto& v : h.v) v = static_cast<float>(data_rng.normal());
+
+  auto loss_fn = [&]() {
+    const Tensor y = conv.forward(h, batch);
+    double s = 0;
+    for (float v : y.v) s += 0.5 * v * v;
+    return s;
+  };
+
+  conv.zero_grad();
+  const Tensor y = conv.forward(h, batch);
+  const Tensor dh = conv.backward(y, batch);
+
+  // Parameter gradients.
+  std::vector<Param> params;
+  conv.collect_params(params);
+  const float eps = 1e-3f;
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p.value->size(); i += 7) {
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const double lp = loss_fn();
+      (*p.value)[i] = orig - eps;
+      const double lm = loss_fn();
+      (*p.value)[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric, 3e-2 * (1 + std::abs(numeric)))
+          << p.name << "[" << i << "]";
+    }
+  }
+
+  // Input gradients.
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const float orig = h.v[i];
+    h.v[i] = orig + eps;
+    const double lp = loss_fn();
+    h.v[i] = orig - eps;
+    const double lm = loss_fn();
+    h.v[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dh.v[i], numeric, 3e-2 * (1 + std::abs(numeric)))
+        << "h[" << i << "]";
+  }
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred(2, 1), target(2, 1);
+  pred.v = {1.0f, 3.0f};
+  target.v = {0.0f, 1.0f};
+  Tensor dpred;
+  const double loss = mse_loss(pred, target, &dpred);
+  EXPECT_NEAR(loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(dpred.v[0], 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(dpred.v[1], 2.0 * 2.0 / 2.0, 1e-6);
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  Tensor a(1, 2), b(2, 1);
+  EXPECT_THROW(mse_loss(a, b, nullptr), InternalError);
+}
+
+}  // namespace
+}  // namespace dds::gnn

@@ -1,0 +1,105 @@
+#include "graph/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::graph {
+namespace {
+
+GraphSample make_sample(std::uint64_t id, std::uint32_t nodes,
+                        std::uint32_t fdim = 2, std::uint32_t tdim = 1) {
+  GraphSample s;
+  s.id = id;
+  s.num_nodes = nodes;
+  s.node_feature_dim = fdim;
+  s.node_features.assign(static_cast<std::size_t>(nodes) * fdim,
+                         static_cast<float>(id));
+  // Chain topology.
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) {
+    s.edge_src.push_back(i);
+    s.edge_dst.push_back(i + 1);
+    s.edge_src.push_back(i + 1);
+    s.edge_dst.push_back(i);
+  }
+  s.y.assign(tdim, static_cast<float>(id) * 10.0f);
+  return s;
+}
+
+TEST(GraphBatch, CollateConcatenatesAndShifts) {
+  const std::vector<GraphSample> samples = {make_sample(0, 3),
+                                            make_sample(1, 2),
+                                            make_sample(2, 4)};
+  const GraphBatch b = GraphBatch::collate(samples);
+
+  EXPECT_EQ(b.num_graphs, 3u);
+  EXPECT_EQ(b.num_nodes, 9u);
+  EXPECT_EQ(b.num_edges(), (2u * 2 + 1 * 2 + 3 * 2));
+  EXPECT_EQ(b.graph_offset, (std::vector<std::uint32_t>{0, 3, 5, 9}));
+
+  // Second sample's first edge (0->1 locally) shifts to (3->4).
+  EXPECT_EQ(b.edge_src[4], 3u);
+  EXPECT_EQ(b.edge_dst[4], 4u);
+  // Third sample's edges live in [5, 9).
+  for (std::size_t e = 6; e < b.num_edges(); ++e) {
+    EXPECT_GE(b.edge_src[e], 5u);
+    EXPECT_LT(b.edge_dst[e], 9u);
+  }
+}
+
+TEST(GraphBatch, NodeGraphAssignment) {
+  const std::vector<GraphSample> samples = {make_sample(0, 2),
+                                            make_sample(1, 3)};
+  const GraphBatch b = GraphBatch::collate(samples);
+  EXPECT_EQ(b.node_graph, (std::vector<std::uint32_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(GraphBatch, FeaturesAndTargetsStackInOrder) {
+  const std::vector<GraphSample> samples = {make_sample(3, 1),
+                                            make_sample(4, 1)};
+  const GraphBatch b = GraphBatch::collate(samples);
+  EXPECT_FLOAT_EQ(b.node_features[0], 3.0f);
+  EXPECT_FLOAT_EQ(b.node_features[2], 4.0f);
+  ASSERT_EQ(b.y.size(), 2u);
+  EXPECT_FLOAT_EQ(b.y[0], 30.0f);
+  EXPECT_FLOAT_EQ(b.y[1], 40.0f);
+}
+
+TEST(GraphBatch, SingleSampleBatch) {
+  const std::vector<GraphSample> samples = {make_sample(5, 4)};
+  const GraphBatch b = GraphBatch::collate(samples);
+  EXPECT_EQ(b.num_graphs, 1u);
+  EXPECT_EQ(b.num_nodes, 4u);
+  EXPECT_EQ(b.graph_offset, (std::vector<std::uint32_t>{0, 4}));
+}
+
+TEST(GraphBatch, EmptyBatchThrows) {
+  EXPECT_THROW(GraphBatch::collate({}), DataError);
+}
+
+TEST(GraphBatch, FeatureDimMismatchThrows) {
+  const std::vector<GraphSample> samples = {make_sample(0, 2, 2),
+                                            make_sample(1, 2, 3)};
+  EXPECT_THROW(GraphBatch::collate(samples), DataError);
+}
+
+TEST(GraphBatch, TargetDimMismatchThrows) {
+  const std::vector<GraphSample> samples = {make_sample(0, 2, 2, 1),
+                                            make_sample(1, 2, 2, 5)};
+  EXPECT_THROW(GraphBatch::collate(samples), DataError);
+}
+
+TEST(GraphBatch, PayloadBytesPositive) {
+  const std::vector<GraphSample> samples = {make_sample(0, 10)};
+  const GraphBatch b = GraphBatch::collate(samples);
+  EXPECT_GT(b.payload_bytes(), 100u);
+}
+
+TEST(GraphBatch, MultiTargetDim) {
+  const std::vector<GraphSample> samples = {make_sample(0, 2, 2, 100),
+                                            make_sample(1, 3, 2, 100)};
+  const GraphBatch b = GraphBatch::collate(samples);
+  EXPECT_EQ(b.target_dim, 100u);
+  EXPECT_EQ(b.y.size(), 200u);
+}
+
+}  // namespace
+}  // namespace dds::graph

@@ -1,0 +1,97 @@
+#include "graph/sample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::graph {
+namespace {
+
+GraphSample tiny_sample(std::uint64_t id = 7) {
+  GraphSample s;
+  s.id = id;
+  s.num_nodes = 3;
+  s.node_feature_dim = 2;
+  s.node_features = {1, 2, 3, 4, 5, 6};
+  s.edge_src = {0, 1, 1, 2};
+  s.edge_dst = {1, 0, 2, 1};
+  s.positions = {0, 0, 0, 1, 0, 0, 2, 0, 0};
+  s.y = {0.5f};
+  return s;
+}
+
+TEST(GraphSample, SerializeRoundTrip) {
+  const GraphSample s = tiny_sample();
+  const ByteBuffer buf = s.to_bytes();
+  EXPECT_EQ(buf.size(), s.serialized_size());
+  const GraphSample back = GraphSample::deserialize(buf);
+  EXPECT_EQ(back, s);
+}
+
+TEST(GraphSample, EmptyPositionsAllowed) {
+  GraphSample s = tiny_sample();
+  s.positions.clear();
+  const GraphSample back = GraphSample::deserialize(s.to_bytes());
+  EXPECT_TRUE(back.positions.empty());
+  EXPECT_EQ(back, s);
+}
+
+TEST(GraphSample, BadMagicRejected) {
+  ByteBuffer buf = tiny_sample().to_bytes();
+  buf[0] = std::byte{0x00};
+  EXPECT_THROW(GraphSample::deserialize(buf), DataError);
+}
+
+TEST(GraphSample, BadVersionRejected) {
+  ByteBuffer buf = tiny_sample().to_bytes();
+  buf[4] = std::byte{0x63};  // version field follows the 4-byte magic
+  EXPECT_THROW(GraphSample::deserialize(buf), DataError);
+}
+
+TEST(GraphSample, TruncatedInputRejected) {
+  const ByteBuffer buf = tiny_sample().to_bytes();
+  for (std::size_t cut : {buf.size() - 1, buf.size() / 2, std::size_t{5}}) {
+    EXPECT_THROW(
+        GraphSample::deserialize(ByteSpan(buf.data(), cut)), DataError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(GraphSample, ValidateCatchesFeatureMismatch) {
+  GraphSample s = tiny_sample();
+  s.node_features.pop_back();
+  EXPECT_THROW(s.validate(), DataError);
+}
+
+TEST(GraphSample, ValidateCatchesEdgeOutOfRange) {
+  GraphSample s = tiny_sample();
+  s.edge_dst[2] = 99;
+  EXPECT_THROW(s.validate(), DataError);
+}
+
+TEST(GraphSample, ValidateCatchesEdgeLengthMismatch) {
+  GraphSample s = tiny_sample();
+  s.edge_src.push_back(0);
+  EXPECT_THROW(s.validate(), DataError);
+}
+
+TEST(GraphSample, ValidateCatchesBadPositions) {
+  GraphSample s = tiny_sample();
+  s.positions.pop_back();
+  EXPECT_THROW(s.validate(), DataError);
+}
+
+TEST(GraphSample, DeserializeValidates) {
+  GraphSample s = tiny_sample();
+  s.edge_dst[0] = 50;  // invalid, but serializable
+  EXPECT_THROW(GraphSample::deserialize(s.to_bytes()), DataError);
+}
+
+TEST(GraphSample, LargeTargetVector) {
+  GraphSample s = tiny_sample();
+  s.y.assign(37'500, 0.25f);
+  const GraphSample back = GraphSample::deserialize(s.to_bytes());
+  EXPECT_EQ(back.target_dim(), 37'500u);
+  EXPECT_FLOAT_EQ(back.y[1000], 0.25f);
+}
+
+}  // namespace
+}  // namespace dds::graph

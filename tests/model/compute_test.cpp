@@ -1,0 +1,54 @@
+#include "model/compute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::model {
+namespace {
+
+TEST(ComputeModel, ForwardBackwardScalesWithBatchShape) {
+  const ComputeModel cm(perlmutter());
+  const BatchShape small{128, 128 * 10, 128 * 20, 1};
+  const BatchShape large{128, 128 * 60, 128 * 120, 1};
+  EXPECT_GT(cm.forward_backward_time(large), cm.forward_backward_time(small));
+}
+
+TEST(ComputeModel, V100SlowerThanA100) {
+  const ComputeModel v100(summit());
+  const ComputeModel a100(perlmutter());
+  const BatchShape b{128, 6600, 13400, 100};
+  EXPECT_GT(v100.forward_backward_time(b), a100.forward_backward_time(b));
+}
+
+TEST(ComputeModel, EmptyBatchStillPaysKernelOverhead) {
+  const ComputeModel cm(perlmutter());
+  const BatchShape empty{0, 0, 0, 0};
+  EXPECT_GE(cm.forward_backward_time(empty),
+            perlmutter().gpu.kernel_overhead_s);
+}
+
+TEST(ComputeModel, BatchingTimeScalesWithPayload) {
+  const ComputeModel cm(perlmutter());
+  const BatchShape b{128, 6600, 13400, 1};
+  EXPECT_GT(cm.batching_time(b, 100 * MiB), cm.batching_time(b, 1 * MiB));
+}
+
+TEST(ComputeModel, OptimizerTimeScalesWithParams) {
+  const ComputeModel cm(perlmutter());
+  EXPECT_GT(cm.optimizer_time(100 * MiB), cm.optimizer_time(1 * MiB));
+}
+
+TEST(HydraGnnParams, CountIsPlausibleAndMonotone) {
+  // 6 PNA layers with hidden 200 and a 13*200-wide update MLP dominate:
+  // roughly 6 * (2600*200 + 200*200) ~ 3.4M parameters.
+  const auto p1 = hydragnn_param_count(1, 1);
+  EXPECT_GT(p1, 3'000'000u);
+  EXPECT_LT(p1, 5'000'000u);
+  // A 37,500-neuron head (AISD-Ex smooth) adds ~200*37500 = 7.5M params.
+  const auto p_smooth = hydragnn_param_count(1, 37'500);
+  EXPECT_GT(p_smooth, p1 + 7'000'000u);
+  EXPECT_GT(hydragnn_param_count(100, 1), p1);
+  EXPECT_EQ(hydragnn_param_bytes(1, 1), p1 * 4);
+}
+
+}  // namespace
+}  // namespace dds::model

@@ -1,0 +1,124 @@
+#include "model/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::model {
+namespace {
+
+class NetworkModelTest : public ::testing::Test {
+ protected:
+  MachineConfig m_ = test_machine();  // 4 GPUs/node, round constants
+};
+
+TEST_F(NetworkModelTest, LocalGetHasNoNetworkCost) {
+  NetworkModel net(m_, 8);
+  const double t = net.local_get_time(12'000, 0.0);
+  EXPECT_DOUBLE_EQ(
+      t, m_.net.rma_local_overhead_s + 12'000 / m_.cpu.memcpy_bandwidth_Bps);
+}
+
+TEST_F(NetworkModelTest, SelfGetEqualsLocalGet) {
+  NetworkModel net(m_, 8);
+  EXPECT_DOUBLE_EQ(net.rma_get_time(3, 3, 1000, 1.0),
+                   net.local_get_time(1000, 1.0));
+}
+
+TEST_F(NetworkModelTest, InterNodeGetIncludesOverheadLatencyBandwidth) {
+  NetworkModel net(m_, 8);
+  // Ranks 0 and 4 are on different nodes (4 GPUs/node).
+  const double t = net.rma_get_time(0, 4, 10'000, 0.0);
+  const double expected = m_.net.rma_remote_overhead_s +
+                          m_.net.inter_latency_s +
+                          10'000 / m_.net.inter_bandwidth_Bps;
+  EXPECT_DOUBLE_EQ(t, expected);
+}
+
+TEST_F(NetworkModelTest, IntraNodeGetIsCheaperThanInterNode) {
+  NetworkModel net(m_, 8);
+  const double intra = net.rma_get_time(0, 1, 100'000, 0.0);
+  NetworkModel net2(m_, 8);
+  const double inter = net2.rma_get_time(0, 4, 100'000, 0.0);
+  EXPECT_LT(intra, inter);
+}
+
+TEST_F(NetworkModelTest, TargetNicSerializesConcurrentGets) {
+  NetworkModel net(m_, 12);
+  // Two different origins pull 1 MB from the same remote node at t=0;
+  // the second transfer queues behind the first at the target NIC.
+  const std::uint64_t bytes = 1'000'000;
+  const double t1 = net.rma_get_time(0, 8, bytes, 0.0);
+  const double t2 = net.rma_get_time(4, 8, bytes, 0.0);
+  const double wire = static_cast<double>(bytes) / m_.net.inter_bandwidth_Bps;
+  EXPECT_NEAR(t2 - t1, wire, 1e-12);
+}
+
+TEST_F(NetworkModelTest, DistinctTargetsDoNotContend) {
+  NetworkModel net(m_, 12);
+  const std::uint64_t bytes = 1'000'000;
+  const double t1 = net.rma_get_time(0, 4, bytes, 0.0);
+  const double t2 = net.rma_get_time(0, 8, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t1, t2);  // separate NICs, same parameters
+}
+
+TEST_F(NetworkModelTest, MessageTimeSelfIsFree) {
+  NetworkModel net(m_, 4);
+  EXPECT_DOUBLE_EQ(net.message_time(2, 2, 1 << 20, 7.0), 7.0);
+}
+
+TEST_F(NetworkModelTest, CollectiveTimeGrowsLogarithmically) {
+  NetworkModel net(m_, 1024);
+  const double t2 = net.collective_time(2, 0, 0.0);
+  const double t4 = net.collective_time(4, 0, 0.0);
+  const double t1024 = net.collective_time(1024, 0, 0.0);
+  EXPECT_NEAR(t4, 2.0 * t2, 1e-12);
+  EXPECT_NEAR(t1024, 10.0 * t2, 1e-12);
+  EXPECT_DOUBLE_EQ(net.collective_time(1, 0, 3.0), 3.0);
+}
+
+TEST_F(NetworkModelTest, CollectiveStartsAtMaxArrival) {
+  NetworkModel net(m_, 8);
+  const double t = net.collective_time(8, 0, 42.0);
+  EXPECT_GT(t, 42.0);
+}
+
+TEST_F(NetworkModelTest, AllreduceScalesWithModelSize) {
+  NetworkModel net(m_, 64);
+  const double small = net.allreduce_time(64, 1'000'000, 0.0);
+  const double large = net.allreduce_time(64, 10'000'000, 0.0);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(net.allreduce_time(1, 1'000'000, 5.0), 5.0);
+}
+
+TEST_F(NetworkModelTest, ResetClearsContention) {
+  NetworkModel net(m_, 8);
+  net.rma_get_time(0, 4, 10'000'000, 0.0);
+  const double busy = net.rma_get_time(0, 4, 1000, 0.0);
+  net.reset();
+  const double fresh = net.rma_get_time(0, 4, 1000, 0.0);
+  EXPECT_LT(fresh, busy);
+}
+
+TEST(MachineConfig, NodeMapping) {
+  const auto m = summit();
+  EXPECT_EQ(m.gpus_per_node, 6);
+  EXPECT_EQ(m.node_of_rank(0), 0);
+  EXPECT_EQ(m.node_of_rank(5), 0);
+  EXPECT_EQ(m.node_of_rank(6), 1);
+  EXPECT_EQ(m.nodes_for_ranks(1), 1);
+  EXPECT_EQ(m.nodes_for_ranks(6), 1);
+  EXPECT_EQ(m.nodes_for_ranks(7), 2);
+  EXPECT_EQ(m.nodes_for_ranks(1536), 256);
+}
+
+TEST(MachineConfig, PresetsMatchPaperTestbeds) {
+  const auto s = summit();
+  const auto p = perlmutter();
+  EXPECT_EQ(s.gpus_per_node, 6);   // 6x V100 per Summit node
+  EXPECT_EQ(p.gpus_per_node, 4);   // 4x A100 per Perlmutter node
+  EXPECT_EQ(s.node_memory_bytes, 512 * GiB);
+  EXPECT_EQ(p.node_memory_bytes, 256 * GiB);
+  EXPECT_LT(s.gpu.speed_factor, p.gpu.speed_factor);  // V100 < A100
+}
+
+}  // namespace
+}  // namespace dds::model

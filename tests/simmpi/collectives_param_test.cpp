@@ -1,0 +1,131 @@
+// Property sweep: collective semantics across rank counts, including
+// non-powers-of-two (the log-depth cost model must not affect results).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simmpi/runtime.hpp"
+
+namespace dds::simmpi {
+namespace {
+
+using model::test_machine;
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, AllreduceSumMatchesClosedForm) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    const long total = c.allreduce(static_cast<long>(c.rank()) + 1, Op::Sum);
+    EXPECT_EQ(total, static_cast<long>(n) * (n + 1) / 2);
+    EXPECT_EQ(c.allreduce(c.rank(), Op::Max), n - 1);
+    EXPECT_EQ(c.allreduce(c.rank(), Op::Min), 0);
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherOrderedByRank) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    const auto all = c.allgather(c.rank() * 3);
+    ASSERT_EQ(static_cast<int>(all.size()), n);
+    for (int r = 0; r < n; ++r) EXPECT_EQ(all[r], 3 * r);
+  });
+}
+
+TEST_P(CollectiveSweep, AllgathervConcatenationComplete) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    // Rank r contributes r+1 copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    std::vector<std::size_t> counts;
+    const auto all = c.allgatherv(std::span<const int>(mine), &counts);
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(n) * (n + 1) / 2);
+    std::size_t cursor = 0;
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r) + 1);
+      for (std::size_t k = 0; k <= static_cast<std::size_t>(r); ++k) {
+        EXPECT_EQ(all[cursor++], r);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, BcastFromEveryRoot) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    for (int root = 0; root < n; ++root) {
+      std::uint64_t token = c.rank() == root
+                                ? 1000 + static_cast<std::uint64_t>(root)
+                                : 0;
+      c.bcast(&token, 1, root);
+      EXPECT_EQ(token, 1000 + static_cast<std::uint64_t>(root));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, GathervOnlyRootReceives) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    const std::vector<double> mine = {static_cast<double>(c.rank())};
+    const auto got = c.gatherv(std::span<const double>(mine), /*root=*/0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(got.size()), n);
+      for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(got[r], r);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, SplitEvenOddGroups) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    Comm group = c.split(c.rank() % 2, c.rank());
+    const int expected = (n + (c.rank() % 2 == 0 ? 1 : 0)) / 2;
+    EXPECT_EQ(group.size(), expected);
+    // World ranks in the group all share my parity.
+    const auto members = group.allgather(c.rank());
+    for (const int m : members) EXPECT_EQ(m % 2, c.rank() % 2);
+  });
+}
+
+TEST_P(CollectiveSweep, SharePublishesRootObject) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    const auto obj = c.share<std::vector<int>>(
+        n - 1, [&] { return std::make_shared<std::vector<int>>(5, n); });
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->size(), 5u);
+    EXPECT_EQ((*obj)[0], n);
+    // Everyone holds the same instance (in-process sharing).
+    const auto ptrs = c.allgather(reinterpret_cast<std::uintptr_t>(obj.get()));
+    for (const auto p : ptrs) EXPECT_EQ(p, ptrs[0]);
+  });
+}
+
+TEST_P(CollectiveSweep, BarrierLeavesClocksEqual) {
+  const int n = GetParam();
+  Runtime rt(n, test_machine());
+  rt.run([&](Comm& c) {
+    c.clock().advance(1e-3 * (c.rank() + 1));
+    c.barrier();
+    const auto clocks = c.allgather(c.clock().now());
+    for (const double t : clocks) EXPECT_DOUBLE_EQ(t, clocks[0]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 13, 16, 32),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace dds::simmpi

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "simmpi/runtime.hpp"
+
+namespace dds::simmpi {
+namespace {
+
+using model::test_machine;
+
+TEST(P2P, SendRecvRoundTrip) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> payload = {1, 2, 3, 4};
+      c.send(std::span<const int>(payload), 1, /*tag=*/7);
+    } else {
+      const auto got = c.recv<int>(0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(P2P, TagsAreMatched) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> a = {1}, b = {2};
+      c.send(std::span<const int>(a), 1, 10);
+      c.send(std::span<const int>(b), 1, 20);
+    } else {
+      // Receive out of order by tag.
+      EXPECT_EQ(c.recv<int>(0, 20)[0], 2);
+      EXPECT_EQ(c.recv<int>(0, 10)[0], 1);
+    }
+  });
+}
+
+TEST(P2P, AnySourceReportsActualSender) {
+  Runtime rt(3, test_machine());
+  rt.run([](Comm& c) {
+    if (c.rank() != 0) {
+      const std::vector<int> v = {c.rank()};
+      c.send(std::span<const int>(v), 0, 1);
+    } else {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        int src = -2;
+        const auto got = c.recv<int>(Comm::kAnySource, 1, &src);
+        EXPECT_EQ(got[0], src);
+        seen |= 1 << src;
+      }
+      EXPECT_EQ(seen, 0b110);
+    }
+  });
+}
+
+TEST(P2P, RecvAdvancesClockToArrival) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.clock().advance(1.0);  // sender is "late"
+      const std::vector<std::byte> big(1 << 20);
+      c.send_bytes(ByteSpan(big), 1, 0);
+    } else {
+      (void)c.recv_bytes(0, 0);
+      // Receiver cannot see the data before the sender injected it.
+      EXPECT_GE(c.clock().now(), 1.0);
+    }
+  });
+}
+
+TEST(P2P, EmptyMessage) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_bytes(ByteSpan{}, 1, 3);
+    } else {
+      EXPECT_TRUE(c.recv_bytes(0, 3).empty());
+    }
+  });
+}
+
+TEST(P2P, ManyMessagesInOrder) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    constexpr int kN = 200;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        const std::vector<int> v = {i};
+        c.send(std::span<const int>(v), 1, 0);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(c.recv<int>(0, 0)[0], i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dds::simmpi

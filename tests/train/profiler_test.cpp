@@ -1,0 +1,79 @@
+#include "train/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::train {
+namespace {
+
+using model::test_machine;
+
+TEST(PhaseProfile, AddAndGet) {
+  PhaseProfile p;
+  p.add(Phase::Load, 1.5);
+  p.add(Phase::Load, 0.5);
+  p.add(Phase::Forward, 2.0);
+  EXPECT_DOUBLE_EQ(p.get(Phase::Load), 2.0);
+  EXPECT_DOUBLE_EQ(p.get(Phase::Forward), 2.0);
+  EXPECT_DOUBLE_EQ(p.get(Phase::Backward), 0.0);
+}
+
+TEST(PhaseProfile, TotalExcludesRmaSubcategory) {
+  PhaseProfile p;
+  p.add(Phase::Load, 3.0);
+  p.add(Phase::RmaComm, 2.0);  // subset of Load: not double counted
+  p.add(Phase::Optimizer, 1.0);
+  EXPECT_DOUBLE_EQ(p.total(), 4.0);
+}
+
+TEST(PhaseProfile, MergeSums) {
+  PhaseProfile a, b;
+  a.add(Phase::Batch, 1.0);
+  b.add(Phase::Batch, 2.0);
+  b.add(Phase::GradComm, 0.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(Phase::Batch), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(Phase::GradComm), 0.5);
+}
+
+TEST(PhaseProfile, DiffGivesInterval) {
+  PhaseProfile start;
+  start.add(Phase::Load, 1.0);
+  PhaseProfile now = start;
+  now.add(Phase::Load, 2.0);
+  now.add(Phase::Forward, 4.0);
+  const PhaseProfile interval = now.diff(start);
+  EXPECT_DOUBLE_EQ(interval.get(Phase::Load), 2.0);
+  EXPECT_DOUBLE_EQ(interval.get(Phase::Forward), 4.0);
+}
+
+TEST(PhaseProfile, ResetZeroes) {
+  PhaseProfile p;
+  p.add(Phase::Load, 1.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+TEST(PhaseProfile, NegativeTimeRejected) {
+  PhaseProfile p;
+  EXPECT_THROW(p.add(Phase::Load, -0.5), InternalError);
+}
+
+TEST(PhaseProfile, AllreduceMeanAveragesAcrossRanks) {
+  simmpi::Runtime rt(4, test_machine());
+  rt.run([](simmpi::Comm& c) {
+    PhaseProfile p;
+    p.add(Phase::Load, static_cast<double>(c.rank() + 1));  // 1,2,3,4
+    const PhaseProfile mean = p.allreduce_mean(c);
+    EXPECT_DOUBLE_EQ(mean.get(Phase::Load), 2.5);
+    EXPECT_DOUBLE_EQ(mean.get(Phase::Forward), 0.0);
+  });
+}
+
+TEST(PhaseProfile, PhaseNamesMatchPaperFigures) {
+  EXPECT_STREQ(phase_name(Phase::Load), "CPU-Loading");
+  EXPECT_STREQ(phase_name(Phase::Batch), "CPU-Batching");
+  EXPECT_STREQ(phase_name(Phase::GradComm), "GPU-Comm");
+}
+
+}  // namespace
+}  // namespace dds::train

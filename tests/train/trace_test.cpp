@@ -1,0 +1,75 @@
+#include "train/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds::train {
+namespace {
+
+TEST(Tracer, RecordAccumulatesCallsAndSeconds) {
+  Tracer t;
+  t.record("load", 0.5);
+  t.record("load", 0.25);
+  t.record("fwd", 1.0);
+  EXPECT_EQ(t.entries().at("load").calls, 2u);
+  EXPECT_DOUBLE_EQ(t.entries().at("load").seconds, 0.75);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 1.75);
+}
+
+TEST(Tracer, RecordNBulkAccounting) {
+  Tracer t;
+  t.record_n("MPI_Get", 1000, 0.4);
+  EXPECT_EQ(t.entries().at("MPI_Get").calls, 1000u);
+  EXPECT_DOUBLE_EQ(t.entries().at("MPI_Get").seconds, 0.4);
+}
+
+TEST(Tracer, RankedSortsByTimeDescending) {
+  Tracer t;
+  t.record("a", 0.1);
+  t.record("b", 0.9);
+  t.record("c", 0.5);
+  const auto r = t.ranked();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].first, "b");
+  EXPECT_EQ(r[1].first, "c");
+  EXPECT_EQ(r[2].first, "a");
+}
+
+TEST(Tracer, RegionMeasuresVirtualTime) {
+  Tracer t;
+  model::VirtualClock clock;
+  {
+    Tracer::Region region(&t, "io", clock);
+    clock.advance(0.125);
+  }
+  EXPECT_DOUBLE_EQ(t.entries().at("io").seconds, 0.125);
+  EXPECT_EQ(t.entries().at("io").calls, 1u);
+}
+
+TEST(Tracer, NullTracerRegionIsNoop) {
+  model::VirtualClock clock;
+  Tracer::Region region(nullptr, "x", clock);
+  clock.advance(1.0);
+  // Destruction must not crash.
+}
+
+TEST(Tracer, MergeCombinesRanks) {
+  Tracer a, b;
+  a.record("load", 1.0);
+  b.record("load", 2.0);
+  b.record("fwd", 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.entries().at("load").calls, 2u);
+  EXPECT_DOUBLE_EQ(a.entries().at("load").seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.entries().at("fwd").seconds, 0.5);
+}
+
+TEST(Tracer, ResetClears) {
+  Tracer t;
+  t.record("x", 1.0);
+  t.reset();
+  EXPECT_TRUE(t.entries().empty());
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace dds::train
