@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_formats"
+  "../bench/bench_ablation_formats.pdb"
+  "CMakeFiles/bench_ablation_formats.dir/bench_ablation_formats.cpp.o"
+  "CMakeFiles/bench_ablation_formats.dir/bench_ablation_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lock"
+  "../bench/bench_ablation_lock.pdb"
+  "CMakeFiles/bench_ablation_lock.dir/bench_ablation_lock.cpp.o"
+  "CMakeFiles/bench_ablation_lock.dir/bench_ablation_lock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

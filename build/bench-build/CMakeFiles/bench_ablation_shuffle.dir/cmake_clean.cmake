@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_shuffle"
+  "../bench/bench_ablation_shuffle.pdb"
+  "CMakeFiles/bench_ablation_shuffle.dir/bench_ablation_shuffle.cpp.o"
+  "CMakeFiles/bench_ablation_shuffle.dir/bench_ablation_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_breakdown.cpp" "bench-build/CMakeFiles/bench_fig5_breakdown.dir/bench_fig5_breakdown.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig5_breakdown.dir/bench_fig5_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dds_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dds_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/dds_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dds_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dds_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dds_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

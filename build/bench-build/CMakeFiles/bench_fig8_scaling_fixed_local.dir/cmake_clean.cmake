@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_scaling_fixed_local"
+  "../bench/bench_fig8_scaling_fixed_local.pdb"
+  "CMakeFiles/bench_fig8_scaling_fixed_local.dir/bench_fig8_scaling_fixed_local.cpp.o"
+  "CMakeFiles/bench_fig8_scaling_fixed_local.dir/bench_fig8_scaling_fixed_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scaling_fixed_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

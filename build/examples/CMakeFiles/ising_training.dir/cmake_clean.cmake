@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising_training.dir/ising_training.cpp.o"
+  "CMakeFiles/ising_training.dir/ising_training.cpp.o.d"
+  "ising_training"
+  "ising_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_tuning.dir/width_tuning.cpp.o"
+  "CMakeFiles/width_tuning.dir/width_tuning.cpp.o.d"
+  "width_tuning"
+  "width_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

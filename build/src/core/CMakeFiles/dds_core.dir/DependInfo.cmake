@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ddstore.cpp" "src/core/CMakeFiles/dds_core.dir/ddstore.cpp.o" "gcc" "src/core/CMakeFiles/dds_core.dir/ddstore.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/dds_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/dds_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/dds_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dds_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dds_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dds_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_core.dir/ddstore.cpp.o"
+  "CMakeFiles/dds_core.dir/ddstore.cpp.o.d"
+  "CMakeFiles/dds_core.dir/registry.cpp.o"
+  "CMakeFiles/dds_core.dir/registry.cpp.o.d"
+  "libdds_core.a"
+  "libdds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cpp" "src/datagen/CMakeFiles/dds_datagen.dir/dataset.cpp.o" "gcc" "src/datagen/CMakeFiles/dds_datagen.dir/dataset.cpp.o.d"
+  "/root/repo/src/datagen/ising.cpp" "src/datagen/CMakeFiles/dds_datagen.dir/ising.cpp.o" "gcc" "src/datagen/CMakeFiles/dds_datagen.dir/ising.cpp.o.d"
+  "/root/repo/src/datagen/molecule.cpp" "src/datagen/CMakeFiles/dds_datagen.dir/molecule.cpp.o" "gcc" "src/datagen/CMakeFiles/dds_datagen.dir/molecule.cpp.o.d"
+  "/root/repo/src/datagen/spec.cpp" "src/datagen/CMakeFiles/dds_datagen.dir/spec.cpp.o" "gcc" "src/datagen/CMakeFiles/dds_datagen.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

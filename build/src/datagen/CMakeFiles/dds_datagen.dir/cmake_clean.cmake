@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_datagen.dir/dataset.cpp.o"
+  "CMakeFiles/dds_datagen.dir/dataset.cpp.o.d"
+  "CMakeFiles/dds_datagen.dir/ising.cpp.o"
+  "CMakeFiles/dds_datagen.dir/ising.cpp.o.d"
+  "CMakeFiles/dds_datagen.dir/molecule.cpp.o"
+  "CMakeFiles/dds_datagen.dir/molecule.cpp.o.d"
+  "CMakeFiles/dds_datagen.dir/spec.cpp.o"
+  "CMakeFiles/dds_datagen.dir/spec.cpp.o.d"
+  "libdds_datagen.a"
+  "libdds_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

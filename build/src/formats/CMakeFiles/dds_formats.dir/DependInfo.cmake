@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/cff.cpp" "src/formats/CMakeFiles/dds_formats.dir/cff.cpp.o" "gcc" "src/formats/CMakeFiles/dds_formats.dir/cff.cpp.o.d"
+  "/root/repo/src/formats/h5f.cpp" "src/formats/CMakeFiles/dds_formats.dir/h5f.cpp.o" "gcc" "src/formats/CMakeFiles/dds_formats.dir/h5f.cpp.o.d"
+  "/root/repo/src/formats/pff.cpp" "src/formats/CMakeFiles/dds_formats.dir/pff.cpp.o" "gcc" "src/formats/CMakeFiles/dds_formats.dir/pff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/dds_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dds_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dds_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

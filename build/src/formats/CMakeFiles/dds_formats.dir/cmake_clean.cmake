@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_formats.dir/cff.cpp.o"
+  "CMakeFiles/dds_formats.dir/cff.cpp.o.d"
+  "CMakeFiles/dds_formats.dir/h5f.cpp.o"
+  "CMakeFiles/dds_formats.dir/h5f.cpp.o.d"
+  "CMakeFiles/dds_formats.dir/pff.cpp.o"
+  "CMakeFiles/dds_formats.dir/pff.cpp.o.d"
+  "libdds_formats.a"
+  "libdds_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

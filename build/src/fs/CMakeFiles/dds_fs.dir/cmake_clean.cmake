@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_fs.dir/parallel_fs.cpp.o"
+  "CMakeFiles/dds_fs.dir/parallel_fs.cpp.o.d"
+  "libdds_fs.a"
+  "libdds_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

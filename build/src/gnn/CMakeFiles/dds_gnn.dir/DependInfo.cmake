@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/linear.cpp" "src/gnn/CMakeFiles/dds_gnn.dir/linear.cpp.o" "gcc" "src/gnn/CMakeFiles/dds_gnn.dir/linear.cpp.o.d"
+  "/root/repo/src/gnn/model.cpp" "src/gnn/CMakeFiles/dds_gnn.dir/model.cpp.o" "gcc" "src/gnn/CMakeFiles/dds_gnn.dir/model.cpp.o.d"
+  "/root/repo/src/gnn/optim.cpp" "src/gnn/CMakeFiles/dds_gnn.dir/optim.cpp.o" "gcc" "src/gnn/CMakeFiles/dds_gnn.dir/optim.cpp.o.d"
+  "/root/repo/src/gnn/pna.cpp" "src/gnn/CMakeFiles/dds_gnn.dir/pna.cpp.o" "gcc" "src/gnn/CMakeFiles/dds_gnn.dir/pna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

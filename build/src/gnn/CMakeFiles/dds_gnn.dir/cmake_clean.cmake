@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_gnn.dir/linear.cpp.o"
+  "CMakeFiles/dds_gnn.dir/linear.cpp.o.d"
+  "CMakeFiles/dds_gnn.dir/model.cpp.o"
+  "CMakeFiles/dds_gnn.dir/model.cpp.o.d"
+  "CMakeFiles/dds_gnn.dir/optim.cpp.o"
+  "CMakeFiles/dds_gnn.dir/optim.cpp.o.d"
+  "CMakeFiles/dds_gnn.dir/pna.cpp.o"
+  "CMakeFiles/dds_gnn.dir/pna.cpp.o.d"
+  "libdds_gnn.a"
+  "libdds_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

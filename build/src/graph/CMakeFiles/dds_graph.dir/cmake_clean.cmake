@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_graph.dir/batch.cpp.o"
+  "CMakeFiles/dds_graph.dir/batch.cpp.o.d"
+  "CMakeFiles/dds_graph.dir/sample.cpp.o"
+  "CMakeFiles/dds_graph.dir/sample.cpp.o.d"
+  "libdds_graph.a"
+  "libdds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/compute.cpp" "src/model/CMakeFiles/dds_model.dir/compute.cpp.o" "gcc" "src/model/CMakeFiles/dds_model.dir/compute.cpp.o.d"
+  "/root/repo/src/model/machine.cpp" "src/model/CMakeFiles/dds_model.dir/machine.cpp.o" "gcc" "src/model/CMakeFiles/dds_model.dir/machine.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/model/CMakeFiles/dds_model.dir/network.cpp.o" "gcc" "src/model/CMakeFiles/dds_model.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_model.dir/compute.cpp.o"
+  "CMakeFiles/dds_model.dir/compute.cpp.o.d"
+  "CMakeFiles/dds_model.dir/machine.cpp.o"
+  "CMakeFiles/dds_model.dir/machine.cpp.o.d"
+  "CMakeFiles/dds_model.dir/network.cpp.o"
+  "CMakeFiles/dds_model.dir/network.cpp.o.d"
+  "libdds_model.a"
+  "libdds_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

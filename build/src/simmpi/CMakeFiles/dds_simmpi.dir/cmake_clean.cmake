@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/dds_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dds_simmpi.dir/window.cpp.o"
+  "CMakeFiles/dds_simmpi.dir/window.cpp.o.d"
+  "libdds_simmpi.a"
+  "libdds_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_train.dir/real_trainer.cpp.o"
+  "CMakeFiles/dds_train.dir/real_trainer.cpp.o.d"
+  "CMakeFiles/dds_train.dir/sampler.cpp.o"
+  "CMakeFiles/dds_train.dir/sampler.cpp.o.d"
+  "CMakeFiles/dds_train.dir/sim_trainer.cpp.o"
+  "CMakeFiles/dds_train.dir/sim_trainer.cpp.o.d"
+  "libdds_train.a"
+  "libdds_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs/fs_model_test.cpp" "tests/CMakeFiles/test_fs.dir/fs/fs_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/fs_model_test.cpp.o.d"
+  "/root/repo/tests/fs/nvme_test.cpp" "tests/CMakeFiles/test_fs.dir/fs/nvme_test.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/nvme_test.cpp.o.d"
+  "/root/repo/tests/fs/pagecache_test.cpp" "tests/CMakeFiles/test_fs.dir/fs/pagecache_test.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/pagecache_test.cpp.o.d"
+  "/root/repo/tests/fs/parallel_fs_test.cpp" "tests/CMakeFiles/test_fs.dir/fs/parallel_fs_test.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/parallel_fs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dds_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dds_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/fs/fs_model_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/fs_model_test.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/nvme_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/nvme_test.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/pagecache_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/pagecache_test.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/parallel_fs_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/parallel_fs_test.cpp.o.d"
+  "test_fs"
+  "test_fs.pdb"
+  "test_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn.dir/gnn/gradient_param_test.cpp.o"
+  "CMakeFiles/test_gnn.dir/gnn/gradient_param_test.cpp.o.d"
+  "CMakeFiles/test_gnn.dir/gnn/layers_test.cpp.o"
+  "CMakeFiles/test_gnn.dir/gnn/layers_test.cpp.o.d"
+  "CMakeFiles/test_gnn.dir/gnn/model_test.cpp.o"
+  "CMakeFiles/test_gnn.dir/gnn/model_test.cpp.o.d"
+  "test_gnn"
+  "test_gnn.pdb"
+  "test_gnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

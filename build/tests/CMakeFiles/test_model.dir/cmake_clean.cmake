@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/clock_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/clock_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/compute_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/compute_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/network_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/network_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/twosided_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/twosided_test.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/collectives_param_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_param_test.cpp.o.d"
+  "/root/repo/tests/simmpi/collectives_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/simmpi/p2p_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o.d"
+  "/root/repo/tests/simmpi/stress_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/stress_test.cpp.o.d"
+  "/root/repo/tests/simmpi/window_param_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/window_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/window_param_test.cpp.o.d"
+  "/root/repo/tests/simmpi/window_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/window_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dds_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/simmpi/collectives_param_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/collectives_param_test.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/stress_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/stress_test.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/window_param_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/window_param_test.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/window_test.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/window_test.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+  "test_simmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/profiler_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/profiler_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/sampler_param_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/sampler_param_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/sampler_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/sampler_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/trace_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/trace_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/trainer_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/trainer_test.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+  "test_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
