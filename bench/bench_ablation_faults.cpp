@@ -1,0 +1,94 @@
+// Fault-injection ablation: what does resilience cost, and what does
+// replication buy back?
+//
+// Sweeps the transient RMA fault rate {0, 0.1%, 1%, 5%} (corruption armed
+// at half the failure rate, plus one straggler target and one rank dying
+// mid-epoch) across replication widths {1, 2, 4} on 8 Perlmutter ranks,
+// and reports throughput next to the resilience counters.  Width 1 is the all-local control (no remote
+// gets, so no injectable faults); wider stores expose more traffic to the
+// fault arms but give the fetch path cross-group twins to fail over to.
+//
+// Output is a JSON array, one object per (width, rate) cell, so the sweep
+// can be diffed or plotted directly.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+void print_cell(bool first, int width, int replicas, double rate,
+                const RunResult& result,
+                const train::ResilienceReport& total) {
+  if (!first) std::printf(",\n");
+  std::printf(
+      "  {\"machine\": \"perlmutter\", \"width\": %d, \"replicas\": %d, "
+      "\"fault_rate\": %s, \"throughput_sps\": %s, \"p50_ms\": %s, "
+      "\"p99_ms\": %s, \"retries\": %llu, \"failovers\": %llu, "
+      "\"checksum_failures\": %llu, \"degraded_reads\": %llu}",
+      width, replicas, fmt(rate, 4).c_str(),
+      fmt(result.mean_throughput(), 0).c_str(),
+      fmt(result.latencies.percentile(50) * 1e3).c_str(),
+      fmt(result.latencies.percentile(99) * 1e3).c_str(),
+      static_cast<unsigned long long>(total.retries),
+      static_cast<unsigned long long>(total.failovers),
+      static_cast<unsigned long long>(total.checksum_failures),
+      static_cast<unsigned long long>(total.degraded_reads));
+}
+
+}  // namespace
+
+int main() {
+  const model::MachineConfig machine = model::perlmutter();
+  const int nranks = 8;
+  const double rates[] = {0.0, 0.001, 0.01, 0.05};
+  const int widths[] = {1, 2, 4};
+
+  Scenario sc;
+  sc.machine = machine;
+  sc.kind = datagen::DatasetKind::AisdExDiscrete;
+  sc.nranks = nranks;
+  sc.local_batch = 32;
+  sc.epochs = 2;
+  sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2,
+                                  /*floor_samples=*/2048);
+  sc.ddstore.charge_replica_preload = false;
+
+  StagedData data(machine, sc.kind, sc.num_samples, nranks,
+                  /*with_pff=*/false);
+
+  std::printf("[\n");
+  bool first = true;
+  for (const int width : widths) {
+    for (const double rate : rates) {
+      Scenario run = sc;
+      run.ddstore.width = width;
+      run.faults.rma_fail_prob = rate;
+      run.faults.rma_corrupt_prob = rate / 2.0;
+      if (rate > 0) {
+        run.faults.straggler_rank = 1;
+        run.faults.straggler_factor = 4.0;
+        // One rank dies partway through the first epoch: with replicas > 1
+        // its traffic fails over to cross-group twins; width 1 never
+        // targets it remotely and rides through untouched.
+        run.faults.dead_rank = 2;
+        run.faults.death_time_s = 0.02;
+      }
+      const auto result = run_training(data, run, BackendKind::DDStore);
+
+      train::ResilienceReport total;
+      for (const auto& e : result.epochs) {
+        total.retries += e.resilience.retries;
+        total.failovers += e.resilience.failovers;
+        total.checksum_failures += e.resilience.checksum_failures;
+        total.degraded_reads += e.resilience.degraded_reads;
+      }
+      print_cell(first, width, nranks / width, rate, result, total);
+      first = false;
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}

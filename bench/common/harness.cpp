@@ -96,6 +96,10 @@ RunResult run_training(StagedData& data, const Scenario& scenario,
   data.fs().reset_time_state();
 
   simmpi::Runtime rt(scenario.nranks, scenario.machine, scenario.seed);
+  if (scenario.faults.any()) {
+    rt.set_fault_injector(std::make_shared<faults::FaultInjector>(
+        scenario.faults, scenario.nranks));
+  }
   rt.run([&](simmpi::Comm& comm) {
     fs::FsClient client(data.fs(),
                         scenario.machine.node_of_rank(comm.world_rank()),

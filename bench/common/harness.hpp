@@ -11,6 +11,7 @@
 
 #include "core/ddstore.hpp"
 #include "datagen/dataset.hpp"
+#include "faults/injector.hpp"
 #include "formats/cff.hpp"
 #include "formats/pff.hpp"
 #include "train/real_trainer.hpp"
@@ -42,6 +43,8 @@ struct Scenario {
   int epochs = 2;
   std::uint64_t seed = 42;
   core::DDStoreConfig ddstore;  ///< width etc. (0 = single replica)
+  /// Fault scenario; a default-constructed config arms nothing.
+  faults::FaultConfig faults;
 };
 
 /// A staged dataset: simulated FS with the CFF container (always) and the

@@ -1,0 +1,29 @@
+// Sample payload checksums.
+//
+// The Data Registry stores a 64-bit checksum per sample, computed once at
+// preload time and verified on every fetch, so that a corrupted RMA
+// transfer (or a bad chunk byte) is detected before the sample reaches the
+// trainer.  FNV-1a is used: it is tiny, dependency-free, and deterministic
+// across platforms; collision resistance against an adversary is not a
+// goal — this guards against transport/memory corruption, not tampering.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dds {
+
+/// FNV-1a over a byte range.  Never returns 0: the registry uses 0 to mean
+/// "no checksum recorded", so a payload that happens to hash to 0 is
+/// remapped to the FNV offset basis.
+inline std::uint64_t checksum64(ByteSpan bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h == 0 ? 0xcbf29ce484222325ULL : h;
+}
+
+}  // namespace dds

@@ -1,27 +1,51 @@
 #include "core/ddstore.hpp"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/checksum.hpp"
 
 namespace dds::core {
 
 namespace {
 
-/// Preloaded chunk: serialized samples back-to-back plus their lengths in
-/// storage order.  Shared across twin ranks (same group-rank, different
-/// replica groups) — immutable after construction.
+/// Preloaded chunk: serialized samples back-to-back plus their lengths and
+/// checksums in storage order.  Shared across twin ranks (same group-rank,
+/// different replica groups) — immutable after construction.
 struct ChunkData {
   ByteBuffer bytes;
   std::vector<std::uint32_t> lengths;
+  std::vector<std::uint64_t> checksums;
 };
+
+/// Preload reads tolerate transient FS errors (armed only while fault
+/// injection is on): a real preloader would not abort a job over one EIO.
+constexpr int kPreloadAttempts = 8;
+
+ByteBuffer read_with_retry(const formats::SampleReader& reader,
+                           fs::FsClient& fs_client, std::uint64_t id,
+                           std::uint64_t& retries) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return reader.read_bytes(id, fs_client);
+    } catch (const IoError&) {
+      if (attempt >= kPreloadAttempts) throw;
+      ++retries;
+    }
+  }
+}
 
 ChunkData preload_chunk(const formats::SampleReader& reader,
                         fs::FsClient& fs_client,
-                        const std::vector<std::uint64_t>& ids) {
+                        const std::vector<std::uint64_t>& ids,
+                        std::uint64_t& retries) {
   ChunkData chunk;
   chunk.lengths.reserve(ids.size());
+  chunk.checksums.reserve(ids.size());
   for (const std::uint64_t id : ids) {
-    const ByteBuffer bytes = reader.read_bytes(id, fs_client);
+    const ByteBuffer bytes = read_with_retry(reader, fs_client, id, retries);
     chunk.lengths.push_back(static_cast<std::uint32_t>(bytes.size()));
+    chunk.checksums.push_back(checksum64(ByteSpan(bytes)));
     chunk.bytes.insert(chunk.bytes.end(), bytes.begin(), bytes.end());
   }
   return chunk;
@@ -35,7 +59,10 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
       width_(config.width == 0 ? comm.size() : config.width),
       config_(config),
       nominal_sample_bytes_(reader.nominal_sample_bytes()),
-      decode_(config.decode) {
+      decode_(config.decode),
+      reader_(&reader),
+      fs_client_(&fs_client),
+      health_(static_cast<std::size_t>(comm.size())) {
   if (width_ < 1 || comm.size() % width_ != 0) {
     throw ConfigError("DDStore width " + std::to_string(width_) +
                       " must divide the communicator size " +
@@ -53,42 +80,60 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
 
   // 2. Data Preloader: the twin leader (the group-0 member) materializes
   // the chunk; other twins charge their own FS read time against a scratch
-  // buffer when configured, then alias the leader's bytes.
+  // buffer when configured, then alias the leader's bytes.  While fault
+  // injection arms transient FS errors, preload reads retry; the armed
+  // window covers *only* this phase so the degraded-mode FS fallback in
+  // the fetch path stays dependable.
+  auto* injector = comm_.runtime().fault_injector();
+  const bool fs_faults_armed =
+      injector != nullptr && injector->config().fs_read_error_prob > 0.0;
+  if (fs_faults_armed) fs_client.arm_faults(injector, comm.world_rank());
+
   const double preload_start = fs_client.clock().now();
   const auto ids = assignment.ids_of(group_.rank());
   const std::shared_ptr<const ChunkData> chunk_data =
       twins.share<ChunkData>(0, [&] {
-        return std::make_shared<ChunkData>(
-            preload_chunk(reader, fs_client, ids));
+        return std::make_shared<ChunkData>(preload_chunk(
+            reader, fs_client, ids, stats_.preload_retries));
       });
   if (twins.rank() != 0 && config_.charge_replica_preload) {
     for (const std::uint64_t id : ids) {
-      (void)reader.read_bytes(id, fs_client);  // timed, bytes discarded
+      // timed, bytes discarded
+      (void)read_with_retry(reader, fs_client, id, stats_.preload_retries);
     }
   }
   chunk_ = std::shared_ptr<const ByteBuffer>(chunk_data, &chunk_data->bytes);
   stats_.preload_seconds = fs_client.clock().now() - preload_start;
+  if (fs_faults_armed) fs_client.disarm_faults();
 
-  // 3. Data Registry: group 0 gathers chunk lengths to comm rank 0, which
-  // builds the (globally identical) index once; everyone shares it.
+  // 3. Data Registry: group 0 gathers chunk lengths and checksums to comm
+  // rank 0, which builds the (globally identical) index once; everyone
+  // shares it.
   std::vector<std::uint32_t> gathered;
+  std::vector<std::uint64_t> gathered_sums;
   std::vector<std::size_t> counts;
   if (replica == 0) {
     gathered = group_.gatherv(
         std::span<const std::uint32_t>(chunk_data->lengths), 0, &counts);
+    gathered_sums = group_.gatherv(
+        std::span<const std::uint64_t>(chunk_data->checksums), 0);
   }
   registry_ = comm_.share<DataRegistry>(0, [&] {
     return DataRegistry::build(assignment,
                                std::span<const std::uint32_t>(gathered),
-                               std::span<const std::size_t>(counts));
+                               std::span<const std::size_t>(counts),
+                               std::span<const std::uint64_t>(gathered_sums));
   });
 
   // 4. RMA registration (MPI_Win_create): chunks are read-only, so exposing
   // the shared buffer mutably is safe (only shared-lock gets touch it).
-  // The chunk shared_ptr rides along as the window's keepalive so a rank
-  // tearing its store down early cannot free memory peers still read.
+  // The window spans the *full* communicator — not just the replica group —
+  // so a fetch can address the same chunk in a sibling group when its
+  // primary target misbehaves (cross-group failover).  The chunk shared_ptr
+  // rides along as the window's keepalive so a rank tearing its store down
+  // early cannot free memory peers still read.
   auto* mutable_bytes = const_cast<std::byte*>(chunk_->data());
-  window_.emplace(group_, MutableByteSpan(mutable_bytes, chunk_->size()),
+  window_.emplace(comm_, MutableByteSpan(mutable_bytes, chunk_->size()),
                   chunk_);
 }
 
@@ -97,6 +142,89 @@ ByteBuffer DDStore::get_bytes(std::uint64_t id) {
   ByteBuffer out(entry.length);
   fetch_into(id, MutableByteSpan(out), /*locked=*/false);
   return out;
+}
+
+bool DDStore::payload_intact(const DataRegistry::Entry& entry, ByteSpan dst) {
+  if (!config_.retry.verify_checksums || entry.checksum == 0) return true;
+  if (checksum64(dst) == entry.checksum) return true;
+  ++stats_.checksum_failures;
+  return false;
+}
+
+void DDStore::fetch_resilient(std::uint64_t id,
+                              const DataRegistry::Entry& entry,
+                              MutableByteSpan dst, bool locked,
+                              double overhead_scale) {
+  const RetryPolicy& rp = config_.retry;
+  const int owner = static_cast<int>(entry.owner);
+  const int primary = primary_target(owner);
+  const int replicas = num_replicas();
+  const int hops = rp.cross_group_failover ? replicas : 1;
+
+  for (int hop = 0; hop < hops; ++hop) {
+    // Candidate order: own group first, then sibling groups' twins in a
+    // deterministic rotation starting from this rank's replica index.
+    const int target = ((replica_index() + hop) % replicas) * width_ + owner;
+    TargetHealth& health = health_[static_cast<std::size_t>(target)];
+    if (health.skip_remaining > 0) {
+      // Breaker open: don't hammer a target that just failed repeatedly.
+      --health.skip_remaining;
+      continue;
+    }
+    // Inside a batch lock epoch the primary is already locked by the
+    // caller; failover targets always take their own shared lock.
+    const bool own_lock = !(locked && target == primary);
+    for (int attempt = 1; attempt <= rp.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        double delay = rp.backoff_base_s;
+        for (int i = 2; i < attempt; ++i) delay *= rp.backoff_multiplier;
+        delay *= 1.0 + rp.backoff_jitter * comm_.rng().uniform();
+        comm_.clock().advance(delay);
+        ++stats_.retries;
+      }
+      bool delivered = false;
+      if (own_lock) window_->lock(target, simmpi::LockType::Shared);
+      try {
+        window_->get(dst, target, entry.offset, nominal_sample_bytes_,
+                     overhead_scale);
+        delivered = true;
+      } catch (const NetworkError&) {
+        // Transport-level failure: the time was already charged by the
+        // window; fall through to the retry/failover bookkeeping.
+      }
+      if (own_lock) window_->unlock(target);
+      if (delivered && payload_intact(entry, ByteSpan(dst))) {
+        health.consecutive_failures = 0;
+        if (target != primary) ++stats_.failovers;
+        return;
+      }
+      ++health.consecutive_failures;
+      if (health.consecutive_failures >= rp.breaker_threshold) {
+        health.consecutive_failures = 0;
+        health.skip_remaining = rp.breaker_cooldown_fetches;
+        ++stats_.breaker_trips;
+        break;  // give up on this target, move to the next candidate
+      }
+    }
+  }
+
+  if (rp.fs_fallback) {
+    // Degraded mode: every in-memory route is exhausted; re-read the
+    // sample from the parallel filesystem through the format plugin.
+    const ByteBuffer bytes = reader_->read_bytes(id, *fs_client_);
+    if (bytes.size() != entry.length ||
+        (rp.verify_checksums && entry.checksum != 0 &&
+         checksum64(ByteSpan(bytes)) != entry.checksum)) {
+      throw DataError("FS fallback read of sample " + std::to_string(id) +
+                      " disagrees with the registry");
+    }
+    std::memcpy(dst.data(), bytes.data(), bytes.size());
+    ++stats_.degraded_reads;
+    return;
+  }
+  throw IoError("sample " + std::to_string(id) +
+                " unreachable: every replica target failed and FS fallback "
+                "is disabled");
 }
 
 void DDStore::fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
@@ -110,8 +238,8 @@ void DDStore::fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
     // broker.  The data plane still reads the owner's exposed region (the
     // broker would serve from the same chunk); timing goes through the
     // two-sided model including the broker service delay.
-    const auto* region =
-        static_cast<const std::byte*>(window_->region_data(owner));
+    const auto* region = static_cast<const std::byte*>(
+        window_->region_data(primary_target(owner)));
     std::memcpy(dst.data(), region + entry.offset, dst.size());
     auto& rt = comm_.runtime();
     const double poll = comm_.rng().exponential(1.0 /
@@ -121,17 +249,15 @@ void DDStore::fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
         nominal_sample_bytes_, comm_.clock().now(), poll);
     comm_.clock().advance_to(done);
   } else {
-    // One-sided RMA (the paper's design): lock, get, unlock.  When the
-    // caller holds a batch-wide lock epoch, the lock share of the software
-    // overhead is amortized away.
+    // One-sided RMA (the paper's design): lock, get, unlock, hardened with
+    // retry/failover/checksum verification.  When the caller holds a
+    // batch-wide lock epoch, the lock share of the software overhead is
+    // amortized away.
     const double overhead_scale =
         lock_amortized
             ? 1.0 - comm_.runtime().machine().net.rma_lock_fraction
             : 1.0;
-    if (!locked) window_->lock(owner, simmpi::LockType::Shared);
-    window_->get(dst, owner, entry.offset, nominal_sample_bytes_,
-                 overhead_scale);
-    if (!locked) window_->unlock(owner);
+    fetch_resilient(id, entry, dst, locked, overhead_scale);
   }
 
   if (owner == group_.rank()) {
@@ -175,7 +301,7 @@ std::vector<graph::GraphSample> DDStore::get_batch(
   std::size_t i = 0;
   while (i < order.size()) {
     const int owner = static_cast<int>(registry_->lookup(ids[order[i]]).owner);
-    window_->lock(owner, simmpi::LockType::Shared);
+    window_->lock(primary_target(owner), simmpi::LockType::Shared);
     bool first_in_epoch = true;
     while (i < order.size() &&
            static_cast<int>(registry_->lookup(ids[order[i]]).owner) == owner) {
@@ -191,7 +317,7 @@ std::vector<graph::GraphSample> DDStore::get_batch(
       stats_.latency.add(clock.now() - t0);
       ++i;
     }
-    window_->unlock(owner);
+    window_->unlock(primary_target(owner));
   }
   return out;
 }

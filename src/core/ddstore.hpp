@@ -41,6 +41,33 @@ enum class CommMode {
   TwoSided      ///< request/response through a per-rank broker
 };
 
+/// Resilient-fetch policy: how hard DDStore tries before degrading.
+/// Retries and failovers only engage on NetworkError / checksum mismatch,
+/// which only occur when fault injection is armed — with faults off this
+/// policy adds zero work to the hot path.
+struct RetryPolicy {
+  /// Attempts per target per fetch (1 = no retry).
+  int max_attempts = 3;
+  /// First retry backoff, charged to the origin's virtual clock.
+  double backoff_base_s = 250e-6;
+  /// Geometric growth of the backoff per attempt.
+  double backoff_multiplier = 2.0;
+  /// Uniform extra fraction added to each backoff (decorrelates retries).
+  double backoff_jitter = 0.5;
+  /// Consecutive failures on one target that trip its circuit breaker.
+  int breaker_threshold = 3;
+  /// While open, the breaker skips the target for this many fetches.
+  /// Count-based (not time-based) so breaker behaviour is independent of
+  /// the queueing model's scheduling-sensitive completion times.
+  int breaker_cooldown_fetches = 64;
+  /// Fail over to the sample's twin owners in sibling replica groups.
+  bool cross_group_failover = true;
+  /// Last resort: re-read the sample from the filesystem (degraded mode).
+  bool fs_fallback = true;
+  /// Verify the registry checksum on every fetched payload.
+  bool verify_checksums = true;
+};
+
 struct DDStoreConfig {
   /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
   /// the paper's default).  comm.size() must be divisible by width.
@@ -60,6 +87,8 @@ struct DDStoreConfig {
   double broker_poll_mean_s = 300e-6;
   /// CPU cost of decoding a fetched sample (in-memory buffer).
   formats::DecodeCost decode = formats::DecodeCost::in_memory();
+  /// Resilience policy for the fetch path (see RetryPolicy).
+  RetryPolicy retry;
 };
 
 struct DDStoreStats {
@@ -70,6 +99,17 @@ struct DDStoreStats {
   /// Per-sample graph-loading latency (fetch + decode), the quantity in
   /// the paper's Fig. 6/12 and Tables 2/3.
   LatencyRecorder latency;
+
+  // Resilience counters (all zero unless fault injection is armed).
+  std::uint64_t retries = 0;            ///< re-attempts after a failed get
+  std::uint64_t failovers = 0;          ///< samples served by a non-primary target
+  std::uint64_t checksum_failures = 0;  ///< payloads rejected by checksum
+  std::uint64_t degraded_reads = 0;     ///< samples served via FS fallback
+  std::uint64_t breaker_trips = 0;      ///< circuit-breaker open events
+
+  // Preload facts: set once at construction, preserved by reset_stats()
+  // (epoch-boundary resets must not erase what construction cost).
+  std::uint64_t preload_retries = 0;
   double preload_seconds = 0.0;
 };
 
@@ -112,20 +152,48 @@ class DDStore {
   void fence() { window_->fence(); }
 
   const DDStoreStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DDStoreStats{}; }
+
+  /// Clears per-epoch counters; preload facts survive (they describe
+  /// construction, not the epoch being reset).
+  void reset_stats() {
+    DDStoreStats fresh;
+    fresh.preload_retries = stats_.preload_retries;
+    fresh.preload_seconds = stats_.preload_seconds;
+    stats_ = fresh;
+  }
 
   simmpi::Comm& group() { return group_; }
   const DataRegistry& registry() const { return *registry_; }
 
-  /// Diagnostics: the RMA region a group member exposes.
+  /// Diagnostics: the RMA region a member of this rank's replica group
+  /// exposes (`target` is a group rank, as before the window moved to the
+  /// full communicator).
   const void* window_region(int target) const {
-    return window_->region_data(target);
+    return window_->region_data(primary_target(target));
   }
-  std::size_t window_size(int target) const { return window_->size_of(target); }
+  std::size_t window_size(int target) const {
+    return window_->size_of(primary_target(target));
+  }
 
  private:
+  /// Comm rank of the member of *this rank's* replica group that owns
+  /// group-rank `owner`'s chunk — the first target every fetch tries.
+  int primary_target(int owner) const {
+    return replica_index() * width_ + owner;
+  }
+
   void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
                   bool lock_amortized = false);
+
+  /// The resilient one-sided path: retry with backoff per target, trip
+  /// circuit breakers, fail over across replica groups, and finally fall
+  /// back to the filesystem.  Throws IoError if every route is exhausted.
+  void fetch_resilient(std::uint64_t id, const DataRegistry::Entry& entry,
+                       MutableByteSpan dst, bool locked, double overhead_scale);
+
+  /// True when `dst` matches `entry`'s recorded checksum (or verification
+  /// is off / no checksum recorded).  Counts a failure when it lies.
+  bool payload_intact(const DataRegistry::Entry& entry, ByteSpan dst);
 
   simmpi::Comm comm_;    ///< the full training communicator
   simmpi::Comm group_;   ///< this rank's replica group
@@ -133,10 +201,19 @@ class DDStore {
   DDStoreConfig config_;
   std::uint64_t nominal_sample_bytes_;
   formats::DecodeCost decode_;
+  const formats::SampleReader* reader_;  ///< for degraded-mode FS reads
+  fs::FsClient* fs_client_;
 
   std::shared_ptr<const ByteBuffer> chunk_;  ///< aliased across twin ranks
   std::shared_ptr<const DataRegistry> registry_;
-  std::optional<simmpi::Window> window_;
+  std::optional<simmpi::Window> window_;  ///< over comm_: all replicas addressable
+
+  /// Per-target (comm rank) circuit-breaker state, local to this rank.
+  struct TargetHealth {
+    int consecutive_failures = 0;
+    int skip_remaining = 0;  ///< breaker open: fetches left to skip
+  };
+  std::vector<TargetHealth> health_;
   DDStoreStats stats_;
 };
 

@@ -58,12 +58,16 @@ std::uint64_t ChunkAssignment::local_index(std::uint64_t id) const {
 std::shared_ptr<DataRegistry> DataRegistry::build(
     const ChunkAssignment& assignment,
     std::span<const std::uint32_t> lengths_by_owner_order,
-    std::span<const std::size_t> counts) {
+    std::span<const std::size_t> counts,
+    std::span<const std::uint64_t> checksums_by_owner_order) {
   DDS_CHECK(static_cast<int>(counts.size()) == assignment.width());
   const std::size_t total =
       std::accumulate(counts.begin(), counts.end(), std::size_t{0});
   DDS_CHECK(total == assignment.num_samples());
   DDS_CHECK(lengths_by_owner_order.size() == total);
+  DDS_CHECK_MSG(checksums_by_owner_order.empty() ||
+                    checksums_by_owner_order.size() == total,
+                "checksum span must be empty or parallel the lengths span");
 
   auto reg = std::make_shared<DataRegistry>();
   reg->entries_.resize(assignment.num_samples());
@@ -76,8 +80,13 @@ std::shared_ptr<DataRegistry> DataRegistry::build(
                   "length counts disagree with placement");
     std::uint64_t offset = 0;
     for (const std::uint64_t id : ids) {
-      const std::uint32_t len = lengths_by_owner_order[cursor++];
-      reg->entries_[id] = Entry{offset, len, static_cast<std::uint32_t>(g)};
+      const std::uint32_t len = lengths_by_owner_order[cursor];
+      const std::uint64_t sum = checksums_by_owner_order.empty()
+                                    ? 0
+                                    : checksums_by_owner_order[cursor];
+      ++cursor;
+      reg->entries_[id] =
+          Entry{offset, len, static_cast<std::uint32_t>(g), sum};
       offset += len;
     }
     reg->chunk_bytes_[static_cast<std::size_t>(g)] = offset;

@@ -60,21 +60,35 @@ class ChunkAssignment {
   Placement placement_;
 };
 
-/// Immutable sample -> (owner, offset, length) index.
+/// Immutable sample -> (owner, offset, length, checksum) index.
 class DataRegistry {
  public:
   struct Entry {
     std::uint64_t offset;
     std::uint32_t length;
     std::uint32_t owner;
+    /// FNV-1a digest of the serialized sample (common/checksum.hpp),
+    /// computed once at preload.  0 means "no checksum recorded"; fetch
+    /// paths skip verification for such entries.
+    std::uint64_t checksum = 0;
   };
 
   /// Builds the registry from each owner's sample lengths in chunk order
   /// (concatenated in owner order, with `counts[g]` lengths per owner).
+  /// `checksums_by_owner_order` parallels the lengths span (one digest per
+  /// sample); pass an empty span to record no checksums.
   static std::shared_ptr<DataRegistry> build(
       const ChunkAssignment& assignment,
       std::span<const std::uint32_t> lengths_by_owner_order,
-      std::span<const std::size_t> counts);
+      std::span<const std::size_t> counts,
+      std::span<const std::uint64_t> checksums_by_owner_order);
+
+  static std::shared_ptr<DataRegistry> build(
+      const ChunkAssignment& assignment,
+      std::span<const std::uint32_t> lengths_by_owner_order,
+      std::span<const std::size_t> counts) {
+    return build(assignment, lengths_by_owner_order, counts, {});
+  }
 
   const Entry& lookup(std::uint64_t id) const {
     DDS_CHECK_MSG(id < entries_.size(), "sample id out of range");

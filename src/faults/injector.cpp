@@ -1,0 +1,62 @@
+#include "faults/injector.hpp"
+
+#include "common/error.hpp"
+
+namespace dds::faults {
+
+FaultInjector::FaultInjector(const FaultConfig& config, int nranks)
+    : config_(config), nranks_(nranks) {
+  DDS_CHECK_MSG(nranks > 0, "FaultInjector needs at least one rank");
+  DDS_CHECK_MSG(config.rma_fail_prob >= 0.0 && config.rma_fail_prob <= 1.0,
+                "rma_fail_prob must be a probability");
+  DDS_CHECK_MSG(
+      config.rma_corrupt_prob >= 0.0 && config.rma_corrupt_prob <= 1.0,
+      "rma_corrupt_prob must be a probability");
+  DDS_CHECK_MSG(config.rma_fail_prob + config.rma_corrupt_prob <= 1.0,
+                "rma fail+corrupt probabilities must not exceed 1");
+  DDS_CHECK_MSG(
+      config.fs_read_error_prob >= 0.0 && config.fs_read_error_prob <= 1.0,
+      "fs_read_error_prob must be a probability");
+  DDS_CHECK_MSG(config.straggler_rank < nranks, "straggler_rank out of range");
+  DDS_CHECK_MSG(config.dead_rank < nranks, "dead_rank out of range");
+  DDS_CHECK_MSG(config.straggler_factor >= 1.0,
+                "straggler_factor must be >= 1 (a slowdown)");
+
+  const Rng root(config.seed);
+  streams_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    // Distinct stream indices per (rank, purpose) so FS decisions during
+    // preload never shift the RMA decision sequence and vice versa.
+    streams_.push_back(RankStreams{
+        root.stream(2 * static_cast<std::uint64_t>(r)),
+        root.stream(2 * static_cast<std::uint64_t>(r) + 1)});
+  }
+}
+
+FaultInjector::RankStreams& FaultInjector::streams(int rank) {
+  DDS_CHECK_MSG(rank >= 0 && rank < nranks_, "rank out of range");
+  return streams_[static_cast<std::size_t>(rank)];
+}
+
+GetOutcome FaultInjector::rma_outcome(int origin) {
+  // Single draw regardless of which probabilities are armed, so changing
+  // one knob does not shift the rest of the decision sequence.
+  const double u = streams(origin).rma.uniform();
+  if (u < config_.rma_fail_prob) return GetOutcome::Fail;
+  if (u < config_.rma_fail_prob + config_.rma_corrupt_prob) {
+    return GetOutcome::Corrupt;
+  }
+  return GetOutcome::Ok;
+}
+
+std::size_t FaultInjector::corrupt_byte(int origin, std::size_t size) {
+  DDS_CHECK_MSG(size > 0, "cannot corrupt an empty payload");
+  return static_cast<std::size_t>(streams(origin).rma.uniform_u64(size));
+}
+
+bool FaultInjector::fs_read_fails(int origin) {
+  if (config_.fs_read_error_prob <= 0.0) return false;
+  return streams(origin).fs.bernoulli(config_.fs_read_error_prob);
+}
+
+}  // namespace dds::faults

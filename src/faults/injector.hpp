@@ -1,0 +1,116 @@
+// Deterministic fault injection (the chaos layer of the robustness story).
+//
+// Production data loaders treat transient I/O and peer failures as expected
+// events; this module lets the simulation *arm* them reproducibly so the
+// resilient fetch path in DDStore can be exercised and measured.  Four
+// fault classes are modelled:
+//
+//  * transient RMA faults — a one-sided get either fails outright (the
+//    origin observes a NACK/timeout) or delivers a corrupted payload
+//    (detected downstream by the registry checksum);
+//  * straggler targets — one rank's NIC serves at a fraction of its rated
+//    speed (degraded service time via NetworkModel::set_service_scale);
+//  * permanent rank death — from a virtual time onward, every get targeting
+//    the rank fails (its memory is gone as far as peers are concerned);
+//  * transient FS read errors — preload reads through FsClient throw
+//    IoError with a configured probability.
+//
+// Determinism: every decision is drawn from per-rank RNG streams derived
+// from a single seed, and each decision consumes a fixed number of draws,
+// so a rank's fault sequence depends only on its own call order — which is
+// deterministic for a fixed seed regardless of how the OS schedules the
+// rank threads.  Two runs with the same seed therefore inject the same
+// faults at the same points, and retry/failover/degraded-read counts are
+// bit-identical (the acceptance criterion for reproducible chaos runs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dds::faults {
+
+/// What the injector decided about one remote one-sided get.
+enum class GetOutcome {
+  Ok,       ///< delivered intact
+  Fail,     ///< transport failure: no data, origin sees an error
+  Corrupt,  ///< delivered, but with flipped byte(s) in the payload
+};
+
+/// Fault scenario knobs.  All probabilities are per-operation; a
+/// default-constructed config arms nothing.
+struct FaultConfig {
+  /// Seed for the per-rank decision streams (0 is a valid seed).
+  std::uint64_t seed = 42;
+
+  /// Probability that a remote RMA get fails in transport.
+  double rma_fail_prob = 0.0;
+  /// Probability that a remote RMA get delivers corrupted bytes.
+  double rma_corrupt_prob = 0.0;
+  /// Probability that a timed FS read throws a transient IoError.
+  double fs_read_error_prob = 0.0;
+
+  /// World rank whose NIC is degraded (-1 = none).
+  int straggler_rank = -1;
+  /// Service-time multiplier for the straggler's NIC (e.g. 8 = 8x slower).
+  double straggler_factor = 8.0;
+
+  /// World rank that dies (-1 = none): gets targeting it fail permanently.
+  int dead_rank = -1;
+  /// Virtual time at which `dead_rank` dies (0 = dead from the start).
+  double death_time_s = 0.0;
+
+  bool any() const {
+    return rma_fail_prob > 0.0 || rma_corrupt_prob > 0.0 ||
+           fs_read_error_prob > 0.0 || straggler_rank >= 0 || dead_rank >= 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int nranks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+  int nranks() const { return nranks_; }
+
+  /// Decides the fate of one remote get issued by `origin` (world rank).
+  /// Consumes exactly one draw from the origin's RMA stream.
+  GetOutcome rma_outcome(int origin);
+
+  /// True if `target` (world rank) is dead at virtual time `now`.
+  bool target_dead(int target, double now) const {
+    return target == config_.dead_rank && now >= config_.death_time_s;
+  }
+
+  /// Byte position to flip in a corrupted payload of `size` bytes.
+  std::size_t corrupt_byte(int origin, std::size_t size);
+
+  /// True if this timed FS read by `origin` should fail transiently.
+  /// Consumes exactly one draw from the origin's FS stream.
+  bool fs_read_fails(int origin);
+
+  /// NIC service-time multiplier for `rank` (1.0 unless it straggles).
+  double service_scale_of(int rank) const {
+    return rank == config_.straggler_rank ? config_.straggler_factor : 1.0;
+  }
+
+ private:
+  /// Independent decision streams per rank; each rank thread touches only
+  /// its own element, so no locking is needed.
+  struct RankStreams {
+    Rng rma;
+    Rng fs;
+  };
+
+  RankStreams& streams(int rank);
+
+  FaultConfig config_;
+  int nranks_;
+  std::vector<RankStreams> streams_;
+};
+
+}  // namespace dds::faults

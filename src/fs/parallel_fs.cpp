@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "faults/injector.hpp"
+
 namespace dds::fs {
 
 ParallelFileSystem::ParallelFileSystem(model::FsParams params, int nnodes)
@@ -151,6 +153,13 @@ void FsClient::pread(const FileRef& file, MutableByteSpan dst,
     throw IoError("pread past end of file (offset " + std::to_string(offset) +
                   " + " + std::to_string(dst.size()) + " > " +
                   std::to_string(file.actual_size) + ")");
+  }
+  if (faults_ != nullptr && faults_->fs_read_fails(fault_rank_)) {
+    // Transient server-side error (EIO/timeout): the RPC round-trip was
+    // paid before the failure surfaced; no data lands.
+    clock_->advance(fs_->params_.read_latency_s * jitter());
+    throw IoError("injected transient read error on file id " +
+                  std::to_string(file.id));
   }
   const auto& p = fs_->params_;
 

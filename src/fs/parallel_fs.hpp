@@ -29,6 +29,10 @@
 #include "model/clock.hpp"
 #include "model/machine.hpp"
 
+namespace dds::faults {
+class FaultInjector;
+}
+
 namespace dds::fs {
 
 /// Lightweight handle returned by FsClient::open.
@@ -142,6 +146,16 @@ class FsClient {
   void reset_stats() { stats_ = {}; }
   model::VirtualClock& clock() { return *clock_; }
 
+  /// Arms transient read-error injection for this client: while armed,
+  /// timed preads may throw IoError per the injector's FS stream for
+  /// `world_rank`.  DDStore arms this only around its preload phase so the
+  /// last-resort FS fallback path stays reliable.  Pass nullptr to disarm.
+  void arm_faults(faults::FaultInjector* injector, int world_rank) {
+    faults_ = injector;
+    fault_rank_ = world_rank;
+  }
+  void disarm_faults() { faults_ = nullptr; }
+
  private:
   double jitter();
 
@@ -149,6 +163,8 @@ class FsClient {
   int node_;
   model::VirtualClock* clock_;
   Rng* rng_;
+  faults::FaultInjector* faults_ = nullptr;
+  int fault_rank_ = -1;
   FsClientStats stats_;
 };
 

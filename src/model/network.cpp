@@ -10,24 +10,38 @@ NetworkModel::NetworkModel(const MachineConfig& machine, int nranks)
       nranks_(nranks),
       nnodes_(machine.nodes_for_ranks(nranks)),
       nic_(static_cast<std::size_t>(nnodes_)),
-      fabric_(static_cast<std::size_t>(nnodes_)) {
+      fabric_(static_cast<std::size_t>(nnodes_)),
+      rank_scale_(static_cast<std::size_t>(nranks), 1.0) {
   DDS_CHECK(nranks > 0);
+}
+
+void NetworkModel::set_service_scale(int rank, double factor) {
+  DDS_CHECK_MSG(rank >= 0 && rank < nranks_, "rank out of range");
+  DDS_CHECK_MSG(factor >= 1.0, "service scale must be a slowdown (>= 1)");
+  rank_scale_[static_cast<std::size_t>(rank)] = factor;
 }
 
 double NetworkModel::rma_get_time(int origin, int target, std::uint64_t bytes,
                                   double start, double overhead_scale) {
   if (origin == target) return local_get_time(bytes, start);
   const auto& p = machine_.net;
+  // A straggling target serves every remote read slower: both the per-op
+  // software overhead (its CPU answers the rendezvous) and the transfer
+  // itself (its NIC drains at degraded speed) stretch by the scale factor.
+  const double scale = rank_scale_[static_cast<std::size_t>(target)];
   if (same_node(origin, target)) {
     const double duration =
-        static_cast<double>(bytes) / p.intra_bandwidth_Bps;
-    const double ready = start + p.rma_intra_overhead_s * overhead_scale +
+        scale * static_cast<double>(bytes) / p.intra_bandwidth_Bps;
+    const double ready = start +
+                         scale * p.rma_intra_overhead_s * overhead_scale +
                          p.intra_latency_s;
     auto& res = fabric_[static_cast<std::size_t>(machine_.node_of_rank(target))];
     return res.acquire(ready, duration);
   }
-  const double duration = static_cast<double>(bytes) / p.inter_bandwidth_Bps;
-  const double ready = start + p.rma_remote_overhead_s * overhead_scale +
+  const double duration =
+      scale * static_cast<double>(bytes) / p.inter_bandwidth_Bps;
+  const double ready = start +
+                       scale * p.rma_remote_overhead_s * overhead_scale +
                        p.inter_latency_s;
   auto& res = nic_[static_cast<std::size_t>(machine_.node_of_rank(target))];
   return res.acquire(ready, duration);

@@ -58,7 +58,16 @@ class NetworkModel {
   int nranks() const { return nranks_; }
   const MachineConfig& machine() const { return machine_; }
 
-  /// Clears all NIC busy state (between epochs/runs).
+  /// Degrades (or restores) the service speed of one rank's NIC endpoint:
+  /// transfers targeting `rank` take `factor` times longer (straggler
+  /// modelling for fault injection).  1.0 restores rated speed.
+  void set_service_scale(int rank, double factor);
+  double service_scale(int rank) const {
+    return rank_scale_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Clears all NIC busy state (between epochs/runs).  Service-scale
+  /// degradations persist; clear them via set_service_scale.
   void reset();
 
  private:
@@ -71,6 +80,7 @@ class NetworkModel {
   int nnodes_;
   std::vector<BusyResource> nic_;     ///< per-node inter-node port
   std::vector<BusyResource> fabric_;  ///< per-node intra-node fabric
+  std::vector<double> rank_scale_;    ///< per-rank NIC service multiplier
 };
 
 }  // namespace dds::model

@@ -60,7 +60,13 @@ class Barrier {
     while (!cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
       return generation_ != gen;
     })) {
-      if (abort_ != nullptr && abort_->raised()) throw AbortedError();
+      if (abort_ != nullptr && abort_->raised()) {
+        // Withdraw this arrival so the barrier stays consistent for the
+        // next run() on the same runtime: our generation has not flipped
+        // (checked under the lock), so count_ still holds our increment.
+        --count_;
+        throw AbortedError();
+      }
     }
   }
 

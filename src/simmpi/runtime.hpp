@@ -28,6 +28,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "faults/injector.hpp"
 #include "model/clock.hpp"
 #include "model/machine.hpp"
 #include "model/network.hpp"
@@ -393,6 +394,23 @@ class Runtime {
   /// Resets all clocks and network busy state (e.g. between experiments).
   void reset_time();
 
+  /// Arms deterministic fault injection for subsequent run() calls (or
+  /// disarms it when `injector` is null).  Arming applies the injector's
+  /// straggler service scale to the network model; disarming restores
+  /// every rank to rated speed.
+  void set_fault_injector(std::shared_ptr<faults::FaultInjector> injector) {
+    DDS_CHECK_MSG(injector == nullptr || injector->nranks() == nranks_,
+                  "fault injector sized for a different world");
+    injector_ = std::move(injector);
+    for (int r = 0; r < nranks_; ++r) {
+      net_.set_service_scale(r,
+                             injector_ ? injector_->service_scale_of(r) : 1.0);
+    }
+  }
+
+  /// The armed injector, or nullptr when faults are off.
+  faults::FaultInjector* fault_injector() const { return injector_.get(); }
+
  private:
   int nranks_;
   model::MachineConfig machine_;
@@ -401,6 +419,7 @@ class Runtime {
   std::vector<model::VirtualClock> clocks_;
   std::vector<Rng> rngs_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::shared_ptr<faults::FaultInjector> injector_;
   std::shared_ptr<detail::CommShared> world_;
 };
 

@@ -84,12 +84,58 @@ void Window::get(MutableByteSpan dst, int target, std::size_t offset,
   DDS_CHECK_MSG(held_.at(t) != HeldLock::None,
                 "get outside a lock epoch");
   check_bounds(target, offset, dst.size());
-  const auto& region = shared_->regions[t];
-  std::memcpy(dst.data(), region.data() + offset, dst.size());
 
   auto& rt = comm_.runtime();
+  const int origin_world = comm_.world_rank();
+  const int target_world = comm_.world_rank_of(target);
+  auto* inj = rt.fault_injector();
+
+  if (inj != nullptr && origin_world != target_world) {
+    // A dead target never answers: charge the origin the cost of a small
+    // probe (the rendezvous that times out) and report the failure.
+    if (inj->target_dead(target_world, comm_.clock().now())) {
+      const double failed = rt.network().rma_get_time(
+          origin_world, target_world, 64, comm_.clock().now(), overhead_scale);
+      comm_.clock().advance_to(failed);
+      throw NetworkError("RMA get failed: target rank " +
+                         std::to_string(target_world) + " is dead");
+    }
+    switch (inj->rma_outcome(origin_world)) {
+      case faults::GetOutcome::Ok:
+        break;
+      case faults::GetOutcome::Fail: {
+        const double failed = rt.network().rma_get_time(
+            origin_world, target_world, 64, comm_.clock().now(),
+            overhead_scale);
+        comm_.clock().advance_to(failed);
+        throw NetworkError("RMA get failed: transient transport fault from " +
+                           std::to_string(origin_world) + " to " +
+                           std::to_string(target_world));
+      }
+      case faults::GetOutcome::Corrupt: {
+        // Delivered, but damaged in flight: copy the real bytes, then flip
+        // one in the *destination* buffer.  The exposed region stays intact
+        // — only this transfer observed the corruption — so a retry (or the
+        // registry checksum) can genuinely recover the true payload.
+        const auto& region = shared_->regions[t];
+        std::memcpy(dst.data(), region.data() + offset, dst.size());
+        if (!dst.empty()) {
+          dst[inj->corrupt_byte(origin_world, dst.size())] ^= std::byte{0xFF};
+        }
+        const double done = rt.network().rma_get_time(
+            origin_world, target_world,
+            charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
+            overhead_scale);
+        comm_.clock().advance_to(done);
+        return;
+      }
+    }
+  }
+
+  const auto& region = shared_->regions[t];
+  std::memcpy(dst.data(), region.data() + offset, dst.size());
   const double done = rt.network().rma_get_time(
-      comm_.world_rank(), comm_.world_rank_of(target),
+      origin_world, target_world,
       charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
       overhead_scale);
   comm_.clock().advance_to(done);

@@ -26,6 +26,11 @@ class DataBackend {
 
   /// Hook called once per rank per epoch (e.g. container reopen costs).
   virtual void epoch_start() {}
+
+  /// Resilience counters, when the backend has a DDStore under it
+  /// (nullptr otherwise).  SimulatedTrainer diffs these across an epoch to
+  /// report retry/failover/degraded-read activity per EpochReport.
+  virtual const core::DDStoreStats* store_stats() const { return nullptr; }
 };
 
 /// File-based loading: every sample access goes to the (simulated)
@@ -108,6 +113,10 @@ class DDStoreBackend final : public DataBackend {
     return store_->nominal_sample_bytes();
   }
   std::string name() const override { return "DDStore"; }
+
+  const core::DDStoreStats* store_stats() const override {
+    return &store_->stats();
+  }
 
   core::DDStore& store() { return *store_; }
 

@@ -26,6 +26,13 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
   comm_.barrier();  // all ranks enter the epoch together
   const double epoch_begin = clock.now();
   const PhaseProfile profile_at_start = profile_;
+  const core::DDStoreStats* store_stats = backend_->store_stats();
+  const ResilienceReport resilience_at_start =
+      store_stats == nullptr
+          ? ResilienceReport{}
+          : ResilienceReport{store_stats->retries, store_stats->failovers,
+                             store_stats->checksum_failures,
+                             store_stats->degraded_reads};
   loader_.begin_epoch(epoch, comm_);
 
   double gpu_free = clock.now();
@@ -116,6 +123,24 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
           ? static_cast<double>(report.global_samples) / epoch_seconds
           : 0.0;
   report.mean_profile = profile_.diff(profile_at_start).allreduce_mean(comm_);
+
+  // Resilience counters: this rank's delta over the epoch, summed across
+  // ranks (untimed — bookkeeping must not perturb the time model).
+  ResilienceReport local;
+  if (store_stats != nullptr) {
+    local.retries = store_stats->retries - resilience_at_start.retries;
+    local.failovers = store_stats->failovers - resilience_at_start.failovers;
+    local.checksum_failures =
+        store_stats->checksum_failures - resilience_at_start.checksum_failures;
+    local.degraded_reads =
+        store_stats->degraded_reads - resilience_at_start.degraded_reads;
+  }
+  for (const auto& r : comm_.allgather_untimed(local)) {
+    report.resilience.retries += r.retries;
+    report.resilience.failovers += r.failovers;
+    report.resilience.checksum_failures += r.checksum_failures;
+    report.resilience.degraded_reads += r.degraded_reads;
+  }
   return report;
 }
 

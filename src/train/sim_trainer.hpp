@@ -26,12 +26,27 @@ struct SimTrainerConfig {
   int prefetch_depth = 2;  ///< batches the CPU may run ahead of the GPU
 };
 
+/// Job-wide resilience activity during one epoch (summed over ranks).
+/// All zero unless fault injection was armed and the backend is DDStore.
+struct ResilienceReport {
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t degraded_reads = 0;
+
+  bool any() const {
+    return retries != 0 || failovers != 0 || checksum_failures != 0 ||
+           degraded_reads != 0;
+  }
+};
+
 struct EpochReport {
   std::uint64_t epoch = 0;
   double epoch_seconds = 0;       ///< max across ranks
   std::uint64_t global_samples = 0;
   double throughput = 0;          ///< samples / second, job-wide
   PhaseProfile mean_profile;      ///< mean per-rank phase seconds
+  ResilienceReport resilience;    ///< summed across ranks
 };
 
 class SimulatedTrainer {

@@ -248,8 +248,9 @@ TEST_F(DDStoreTest, WidthTwoMakesHalfTheFetchesLocal) {
 }
 
 TEST_F(DDStoreTest, ReplicaGroupsAreIsolated) {
-  // A fetch in one group must not touch ranks outside the group: the
-  // window is built over the group communicator, so owners are group-local.
+  // A fault-free fetch must resolve to the requester's own replica group:
+  // the window spans the full communicator (so failover can reach sibling
+  // groups), but the primary target is always the in-group twin.
   simmpi::Runtime rt(8, machine_);
   const auto reader = cff_reader();
   rt.run([&](simmpi::Comm& c) {

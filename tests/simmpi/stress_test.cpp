@@ -87,6 +87,55 @@ TEST(Stress, RepeatedRunsOnOneRuntime) {
   EXPECT_GT(rt.max_clock(), 0.0);
 }
 
+TEST(Stress, AbortFlagReleasesPeersWhenOneRankThrows) {
+  // One rank fails while everyone else sits in collectives: the abort flag
+  // must release the survivors (instead of deadlocking the barrier), the
+  // original exception must surface from run(), and the runtime must stay
+  // usable afterwards.
+  Runtime rt(8, test_machine());
+  EXPECT_THROW(
+      rt.run([](Comm& c) {
+        c.barrier();  // everyone reaches the epoch together
+        if (c.rank() == 3) {
+          throw IoError("rank 3 lost its dataset");
+        }
+        // Survivors head into more collectives that rank 3 will never join.
+        for (int round = 0; round < 50; ++round) {
+          c.barrier();
+          (void)c.allreduce(round, Op::Sum);
+        }
+      }),
+      IoError);
+
+  // A failed run must not poison the next one.
+  rt.run([](Comm& c) {
+    EXPECT_EQ(c.allreduce(1, Op::Sum), c.size());
+    c.barrier();
+  });
+}
+
+TEST(Stress, AbortPropagatesThroughSubCommunicatorsAndWindows) {
+  Runtime rt(8, test_machine());
+  EXPECT_THROW(
+      rt.run([](Comm& c) {
+        Comm half = c.split(c.rank() / 4, c.rank());
+        std::vector<double> local(8, 1.0);
+        Window win(c, MutableByteSpan(
+                          reinterpret_cast<std::byte*>(local.data()),
+                          local.size() * sizeof(double)));
+        win.fence();
+        if (c.rank() == 5) {
+          throw DataError("rank 5 found a corrupt block");
+        }
+        for (int round = 0; round < 50; ++round) {
+          (void)half.allreduce(1, Op::Sum);
+          win.fence();
+        }
+      }),
+      DataError);
+  rt.run([](Comm& c) { EXPECT_EQ(c.allreduce(2, Op::Max), 2); });
+}
+
 TEST(Stress, WindowAccumulateUnderContention) {
   // All ranks accumulate into rank 0 concurrently under exclusive locks;
   // the sum must be exact (no lost updates).
