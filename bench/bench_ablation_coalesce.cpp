@@ -1,0 +1,125 @@
+// Ablation: what do coalesced fetch plans and prefetch overlap each buy?
+//
+// Sweeps the batch fetch mode {per-sample, per-target-lock, coalesced}
+// against the prefetch depth {0 = strictly serial fetch->compute, 1 =
+// double buffering, 2} and the replication width {1, 2, 4} on 8 Perlmutter
+// ranks, all through the PrefetchingLoader so every cell shares one
+// trainer pipeline.  The planner's traffic counters (lock epochs, RMA
+// transfers, coalesced segments/bytes, lock epochs saved) and the overlap
+// seconds hidden under compute are reported per cell.
+//
+// Output is a JSON array, one object per (mode, depth, width) cell, so the
+// sweep can be diffed or plotted directly.  `--smoke` shrinks the setup to
+// a seconds-scale CI configuration with the same output shape.
+#include <cstdio>
+#include <cstring>
+
+#include "common/harness.hpp"
+
+using namespace dds;
+using namespace dds::bench;
+
+namespace {
+
+const char* mode_name(core::BatchFetchMode mode) {
+  switch (mode) {
+    case core::BatchFetchMode::PerSample: return "per-sample";
+    case core::BatchFetchMode::LockPerTarget: return "per-target-lock";
+    case core::BatchFetchMode::Coalesced: return "coalesced";
+  }
+  return "?";
+}
+
+void print_cell(bool first, core::BatchFetchMode mode, int depth, int width,
+                const RunResult& result) {
+  train::FetchTrafficReport traffic;
+  double epoch_s = 0, hidden_s = 0;
+  for (const auto& e : result.epochs) {
+    epoch_s += e.epoch_seconds;
+    hidden_s += e.overlap_hidden_s;
+    traffic.lock_epochs += e.traffic.lock_epochs;
+    traffic.rma_transfers += e.traffic.rma_transfers;
+    traffic.coalesced_transfers += e.traffic.coalesced_transfers;
+    traffic.coalesced_segments += e.traffic.coalesced_segments;
+    traffic.coalesced_bytes += e.traffic.coalesced_bytes;
+    traffic.lock_epochs_saved += e.traffic.lock_epochs_saved;
+    traffic.batch_dup_hits += e.traffic.batch_dup_hits;
+    traffic.coalesced_fallbacks += e.traffic.coalesced_fallbacks;
+  }
+  epoch_s /= static_cast<double>(result.epochs.size());
+
+  if (!first) std::printf(",\n");
+  std::printf(
+      "  {\"machine\": \"perlmutter\", \"mode\": \"%s\", \"depth\": %d, "
+      "\"width\": %d, \"epoch_seconds\": %s, \"throughput_sps\": %s, "
+      "\"p50_ms\": %s, \"p99_ms\": %s, \"overlap_hidden_s\": %s, "
+      "\"lock_epochs\": %llu, \"rma_transfers\": %llu, "
+      "\"coalesced_transfers\": %llu, \"coalesced_segments\": %llu, "
+      "\"coalesced_bytes\": %llu, \"lock_epochs_saved\": %llu, "
+      "\"batch_dup_hits\": %llu, \"coalesced_fallbacks\": %llu}",
+      mode_name(mode), depth, width, fmt(epoch_s, 6).c_str(),
+      fmt(result.mean_throughput(), 0).c_str(),
+      fmt(result.latencies.percentile(50) * 1e3).c_str(),
+      fmt(result.latencies.percentile(99) * 1e3).c_str(),
+      fmt(hidden_s, 6).c_str(),
+      static_cast<unsigned long long>(traffic.lock_epochs),
+      static_cast<unsigned long long>(traffic.rma_transfers),
+      static_cast<unsigned long long>(traffic.coalesced_transfers),
+      static_cast<unsigned long long>(traffic.coalesced_segments),
+      static_cast<unsigned long long>(traffic.coalesced_bytes),
+      static_cast<unsigned long long>(traffic.lock_epochs_saved),
+      static_cast<unsigned long long>(traffic.batch_dup_hits),
+      static_cast<unsigned long long>(traffic.coalesced_fallbacks));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const model::MachineConfig machine = model::perlmutter();
+  const int nranks = smoke ? 4 : 8;
+  const core::BatchFetchMode modes[] = {core::BatchFetchMode::PerSample,
+                                        core::BatchFetchMode::LockPerTarget,
+                                        core::BatchFetchMode::Coalesced};
+  const int depths[] = {0, 1, 2};
+  const int widths[] = {1, 2, 4};
+
+  Scenario sc;
+  sc.machine = machine;
+  sc.kind = datagen::DatasetKind::AisdExDiscrete;
+  sc.nranks = nranks;
+  sc.local_batch = smoke ? 8 : 32;
+  sc.epochs = smoke ? 1 : 2;
+  sc.num_samples =
+      smoke ? scaled_samples(nranks, sc.local_batch, /*min_steps=*/2,
+                             /*floor_samples=*/256)
+            : scaled_samples(nranks, sc.local_batch, /*min_steps=*/4,
+                             /*floor_samples=*/4096);
+  sc.ddstore.charge_replica_preload = false;
+  sc.loader_mode = train::LoaderMode::Prefetching;
+
+  StagedData data(machine, sc.kind, sc.num_samples, nranks,
+                  /*with_pff=*/false);
+
+  std::printf("[\n");
+  bool first = true;
+  for (const auto mode : modes) {
+    for (const int depth : depths) {
+      for (const int width : widths) {
+        Scenario run = sc;
+        run.ddstore.batch_fetch = mode;
+        run.ddstore.width = width;
+        run.prefetch_depth = depth;
+        const auto result = run_training(data, run, BackendKind::DDStore);
+        print_cell(first, mode, depth, width, result);
+        first = false;
+      }
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -1,12 +1,17 @@
-// Ablation: lock-per-sample vs one lock epoch per target in batch fetches.
+// Ablation: lock-per-sample vs one lock epoch per target vs fully
+// coalesced vectored transfers in batch fetches.
 //
 // The paper's Fig. 3 walkthrough issues MPI_Win_lock / MPI_Get /
-// MPI_Win_unlock per item.  An obvious optimization is to sort a batch by
-// owner and hold one shared-lock epoch per distinct target, amortizing the
+// MPI_Win_unlock per item.  One optimization sorts a batch by owner and
+// holds one shared-lock epoch per distinct target, amortizing the
 // lock/unlock software overhead (NetworkParams::rma_lock_fraction of the
-// per-get cost).  This bench measures both against batch size, plus the
-// Block vs RoundRobin chunk-placement choice.
+// per-get cost); the full fetch planner additionally merges adjacent
+// samples into single vectored gets (core/fetch_plan.hpp).  This bench
+// measures all three against the Block vs RoundRobin placement choice and
+// reports exactly what traffic each policy issued (lock epochs, RMA
+// transfers).
 #include <cstdio>
+#include <string>
 
 #include "common/harness.hpp"
 
@@ -15,14 +20,23 @@ using namespace dds::bench;
 
 namespace {
 
+const char* mode_name(core::BatchFetchMode mode) {
+  switch (mode) {
+    case core::BatchFetchMode::PerSample: return "lock-per-sample";
+    case core::BatchFetchMode::LockPerTarget: return "lock-per-target";
+    case core::BatchFetchMode::Coalesced: return "coalesced";
+  }
+  return "?";
+}
+
 void sweep(StagedData& data, const model::MachineConfig& machine, int nranks,
-           bool lock_per_target, core::Placement placement) {
+           core::BatchFetchMode mode, core::Placement placement) {
   simmpi::Runtime rt(nranks, machine);
   rt.run([&](simmpi::Comm& comm) {
     fs::FsClient client(data.fs(), machine.node_of_rank(comm.world_rank()),
                         comm.clock(), comm.rng());
     core::DDStoreConfig config;
-    config.lock_per_target = lock_per_target;
+    config.batch_fetch = mode;
     config.placement = placement;
     config.charge_replica_preload = false;
     core::DDStore store(comm, data.cff(), client, config);
@@ -40,11 +54,13 @@ void sweep(StagedData& data, const model::MachineConfig& machine, int nranks,
 
     if (comm.rank() == 0) {
       const auto& st = store.stats();
-      print_row({lock_per_target ? "lock-per-target" : "lock-per-sample",
+      print_row({mode_name(mode),
                  placement == core::Placement::Block ? "block" : "round-robin",
                  fmt(st.latency.percentile(50) * 1e3, 3) + " ms",
                  fmt(st.latency.percentile(99) * 1e3, 3) + " ms",
-                 fmt(st.latency.mean() * 1e3, 3) + " ms"});
+                 fmt(st.latency.mean() * 1e3, 3) + " ms",
+                 std::to_string(st.lock_epochs),
+                 std::to_string(st.rma_transfers)});
     }
     comm.barrier();
   });
@@ -60,11 +76,14 @@ int main() {
 
   std::printf("# Ablation (Perlmutter, %d GPUs): RMA lock granularity and "
               "chunk placement, batch 128\n", kRanks);
-  print_row({"lock mode", "placement", "p50 fetch", "p99 fetch", "mean"});
-  for (const bool per_target : {false, true}) {
+  print_row({"lock mode", "placement", "p50 fetch", "p99 fetch", "mean",
+             "lock epochs", "rma transfers"});
+  for (const auto mode :
+       {core::BatchFetchMode::PerSample, core::BatchFetchMode::LockPerTarget,
+        core::BatchFetchMode::Coalesced}) {
     for (const auto placement :
          {core::Placement::Block, core::Placement::RoundRobin}) {
-      sweep(data, machine, kRanks, per_target, placement);
+      sweep(data, machine, kRanks, mode, placement);
     }
   }
   std::printf("# amortizing the lock epoch saves ~%.0f%% of the per-get "

@@ -4,7 +4,11 @@
 // GPU; throughput normalized to PFF; final column is the geometric mean
 // across the four datasets.  Paper headline: DDStore ~2.9x/4.7x PFF
 // (Summit/Perlmutter geomean) and ~5.1x/6.1x CFF.
+//
+// `--smoke` shrinks each machine to 8 ranks, batch 16, one epoch on a tiny
+// staged dataset — the CI guard that the bench still runs end to end.
 #include <cstdio>
+#include <cstring>
 
 #include "common/harness.hpp"
 
@@ -13,7 +17,8 @@ using namespace dds::bench;
 
 namespace {
 
-void run_machine(const model::MachineConfig& machine, int nranks) {
+void run_machine(const model::MachineConfig& machine, int nranks,
+                 bool smoke) {
   std::printf("\n# Fig. 4 (%s, %d GPUs): throughput normalized to PFF\n",
               machine.name.c_str(), nranks);
   print_row({"dataset", "PFF", "CFF", "DDStore", "PFF samp/s", "CFF samp/s",
@@ -25,9 +30,10 @@ void run_machine(const model::MachineConfig& machine, int nranks) {
     sc.machine = machine;
     sc.kind = kind;
     sc.nranks = nranks;
-    sc.local_batch = 128;
-    sc.epochs = 2;
-    sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2);
+    sc.local_batch = smoke ? 16 : 128;
+    sc.epochs = smoke ? 1 : 2;
+    sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2,
+                                    smoke ? 256 : 16'384);
 
     StagedData data(machine, kind, sc.num_samples, nranks, /*with_pff=*/true);
     const double pff = run_training(data, sc, BackendKind::Pff)
@@ -52,8 +58,12 @@ void run_machine(const model::MachineConfig& machine, int nranks) {
 
 }  // namespace
 
-int main() {
-  run_machine(model::summit(), /*nranks=*/384);      // Fig. 4(a)
-  run_machine(model::perlmutter(), /*nranks=*/64);   // Fig. 4(b)
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  run_machine(model::summit(), smoke ? 8 : 384, smoke);      // Fig. 4(a)
+  run_machine(model::perlmutter(), smoke ? 8 : 64, smoke);   // Fig. 4(b)
   return 0;
 }

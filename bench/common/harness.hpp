@@ -45,6 +45,11 @@ struct Scenario {
   core::DDStoreConfig ddstore;  ///< width etc. (0 = single replica)
   /// Fault scenario; a default-constructed config arms nothing.
   faults::FaultConfig faults;
+  /// Loader pipeline (Pipelined = per-sample DataLoader; Prefetching =
+  /// whole-batch loads through the fetch planner with depth-bounded
+  /// overlap).  prefetch_depth follows SimTrainerConfig semantics.
+  train::LoaderMode loader_mode = train::LoaderMode::Pipelined;
+  int prefetch_depth = 2;
 };
 
 /// A staged dataset: simulated FS with the CFF container (always) and the

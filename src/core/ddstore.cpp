@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/checksum.hpp"
 
@@ -183,8 +184,12 @@ void DDStore::fetch_resilient(std::uint64_t id,
         ++stats_.retries;
       }
       bool delivered = false;
-      if (own_lock) window_->lock(target, simmpi::LockType::Shared);
+      if (own_lock) {
+        window_->lock(target, simmpi::LockType::Shared);
+        ++stats_.lock_epochs;
+      }
       try {
+        ++stats_.rma_transfers;
         window_->get(dst, target, entry.offset, nominal_sample_bytes_,
                      overhead_scale);
         delivered = true;
@@ -281,45 +286,158 @@ graph::GraphSample DDStore::get(std::uint64_t id) {
 
 std::vector<graph::GraphSample> DDStore::get_batch(
     std::span<const std::uint64_t> ids) {
-  std::vector<graph::GraphSample> out;
-  out.reserve(ids.size());
-  auto& clock = comm_.clock();
-
-  if (!config_.lock_per_target) {
-    for (const std::uint64_t id : ids) out.push_back(get(id));
-    return out;
+  if (ids.empty()) return {};
+  // The planner paths assume one-sided access to the owners' exposed
+  // regions; a two-sided broker serves requests individually, so batched
+  // modes degenerate to the per-sample loop there.
+  if (config_.comm_mode == CommMode::TwoSided) {
+    return get_batch_per_sample(ids);
   }
+  switch (config_.batch_fetch) {
+    case BatchFetchMode::PerSample:
+      return get_batch_per_sample(ids);
+    case BatchFetchMode::LockPerTarget:
+      return get_batch_planned(ids, /*coalesce=*/false);
+    case BatchFetchMode::Coalesced:
+      return get_batch_planned(ids, /*coalesce=*/true);
+  }
+  throw InternalError("unknown BatchFetchMode");
+}
 
-  // Ablation: one lock epoch per distinct target.  Sort fetch order by
-  // owner, but return samples in request order.
-  std::vector<std::size_t> order(ids.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return registry_->lookup(ids[a]).owner < registry_->lookup(ids[b]).owner;
-  });
-  out.resize(ids.size());
-  std::size_t i = 0;
-  while (i < order.size()) {
-    const int owner = static_cast<int>(registry_->lookup(ids[order[i]]).owner);
-    window_->lock(primary_target(owner), simmpi::LockType::Shared);
-    bool first_in_epoch = true;
-    while (i < order.size() &&
-           static_cast<int>(registry_->lookup(ids[order[i]]).owner) == owner) {
-      const std::uint64_t id = ids[order[i]];
-      const double t0 = clock.now();
-      const auto& entry = registry_->lookup(id);
-      ByteBuffer bytes(entry.length);
-      fetch_into(id, MutableByteSpan(bytes), /*locked=*/true,
-                 /*lock_amortized=*/!first_in_epoch);
-      first_in_epoch = false;
-      decode_.charge(clock, nominal_sample_bytes_);
-      out[order[i]] = graph::GraphSample::deserialize(bytes);
-      stats_.latency.add(clock.now() - t0);
-      ++i;
+std::vector<graph::GraphSample> DDStore::get_batch_per_sample(
+    std::span<const std::uint64_t> ids) {
+  std::vector<graph::GraphSample> out(ids.size());
+  auto& clock = comm_.clock();
+  // Fetch each distinct id once (first occurrence pays the wire), decode
+  // per occurrence; fetch order is request order of first occurrences.
+  std::unordered_map<std::uint64_t, ByteBuffer> fetched;
+  fetched.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t id = ids[i];
+    const double t0 = clock.now();
+    auto it = fetched.find(id);
+    if (it == fetched.end()) {
+      it = fetched.emplace(id, get_bytes(id)).first;
+    } else {
+      ++stats_.batch_dup_hits;
     }
-    window_->unlock(primary_target(owner));
+    decode_.charge(clock, nominal_sample_bytes_);
+    out[i] = graph::GraphSample::deserialize(it->second);
+    stats_.latency.add(clock.now() - t0);
   }
   return out;
+}
+
+std::vector<graph::GraphSample> DDStore::get_batch_planned(
+    std::span<const std::uint64_t> ids, bool coalesce) {
+  const FetchPlan plan = plan_batch_fetch(*registry_, ids);
+  std::vector<graph::GraphSample> out(ids.size());
+  auto& clock = comm_.clock();
+  stats_.batch_dup_hits += plan.duplicate_hits;
+  stats_.lock_epochs_saved +=
+      plan.unique_samples - static_cast<std::uint64_t>(plan.targets.size());
+
+  for (const TargetPlan& tp : plan.targets) {
+    if (!coalesce) {
+      // Ablation: one shared-lock epoch per distinct target; individual
+      // gets inside it with the lock overhead amortized after the first.
+      const int target = primary_target(tp.owner);
+      window_->lock(target, simmpi::LockType::Shared);
+      ++stats_.lock_epochs;
+      bool first_in_epoch = true;
+      for (const PlannedSample& s : tp.samples) {
+        const auto& entry = registry_->lookup(s.id);
+        const double t0 = clock.now();
+        ByteBuffer bytes(entry.length);
+        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/true,
+                   /*lock_amortized=*/!first_in_epoch);
+        first_in_epoch = false;
+        decode_occurrences(s, ByteSpan(bytes), clock.now() - t0, out);
+      }
+      window_->unlock(target);
+      continue;
+    }
+
+    // Coalesced: stage every merged range of this target in one vectored
+    // transfer, then verify and decode sample by sample.
+    ByteBuffer staging(tp.bytes);
+    const double t0 = clock.now();
+    const bool delivered =
+        run_coalesced_transfer(tp, MutableByteSpan(staging));
+    const double fetch_share =
+        (clock.now() - t0) / static_cast<double>(tp.samples.size());
+    bool fell_back = false;
+    for (const PlannedSample& s : tp.samples) {
+      const auto& entry = registry_->lookup(s.id);
+      const ByteSpan view(staging.data() + s.staging_offset, s.length);
+      if (delivered && payload_intact(entry, view)) {
+        if (tp.owner == group_.rank()) {
+          ++stats_.local_gets;
+        } else {
+          ++stats_.remote_gets;
+        }
+        stats_.bytes_fetched += entry.length;
+        stats_.nominal_bytes_fetched += nominal_sample_bytes_;
+        decode_occurrences(s, view, fetch_share, out);
+      } else {
+        // Degrade to the per-sample resilient path for this id only: the
+        // transfer lost the whole target (transport) or just this sample
+        // (checksum); either way retries/failover/FS-fallback still apply.
+        fell_back = true;
+        const double tf = clock.now();
+        ByteBuffer bytes(entry.length);
+        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/false);
+        decode_occurrences(s, ByteSpan(bytes), clock.now() - tf, out);
+      }
+    }
+    if (fell_back) ++stats_.coalesced_fallbacks;
+  }
+  return out;
+}
+
+bool DDStore::run_coalesced_transfer(const TargetPlan& tp,
+                                     MutableByteSpan staging) {
+  const int target = primary_target(tp.owner);
+  std::vector<simmpi::Window::GetSegment> segments;
+  segments.reserve(tp.ranges.size());
+  std::size_t pos = 0;
+  for (const PlannedRange& r : tp.ranges) {
+    segments.push_back(
+        {static_cast<std::size_t>(r.offset),
+         MutableByteSpan(staging.data() + pos,
+                         static_cast<std::size_t>(r.length))});
+    pos += static_cast<std::size_t>(r.length);
+  }
+  DDS_CHECK(pos == staging.size());
+
+  window_->lock(target, simmpi::LockType::Shared);
+  ++stats_.lock_epochs;
+  ++stats_.rma_transfers;
+  ++stats_.coalesced_transfers;
+  stats_.coalesced_segments += segments.size();
+  bool delivered = false;
+  try {
+    window_->getv(segments, target,
+                  nominal_sample_bytes_ * tp.samples.size());
+    stats_.coalesced_bytes += staging.size();
+    delivered = true;
+  } catch (const NetworkError&) {
+    // Time was charged by the window; the caller falls back per sample.
+  }
+  window_->unlock(target);
+  return delivered;
+}
+
+void DDStore::decode_occurrences(const PlannedSample& sample, ByteSpan bytes,
+                                 double fetch_share,
+                                 std::vector<graph::GraphSample>& out) {
+  auto& clock = comm_.clock();
+  for (const std::uint32_t pos : sample.positions) {
+    const double t0 = clock.now();
+    decode_.charge(clock, nominal_sample_bytes_);
+    out[pos] = graph::GraphSample::deserialize(bytes);
+    stats_.latency.add(fetch_share + (clock.now() - t0));
+  }
 }
 
 }  // namespace dds::core

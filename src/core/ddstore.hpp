@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "common/stats.hpp"
+#include "core/fetch_plan.hpp"
 #include "core/registry.hpp"
 #include "formats/reader.hpp"
 #include "simmpi/window.hpp"
@@ -39,6 +40,24 @@ namespace dds::core {
 enum class CommMode {
   OneSidedRma,  ///< MPI_Win_lock(SHARED) + MPI_Get + unlock (the paper)
   TwoSided      ///< request/response through a per-rank broker
+};
+
+/// How get_batch turns a batch of sample ids into RMA traffic.  All modes
+/// dedupe repeated ids (fetch once, decode per occurrence) and return
+/// samples in request order.
+enum class BatchFetchMode {
+  /// The paper's Fig. 3 walkthrough: one lock/get/unlock per sample, in
+  /// request order.
+  PerSample,
+  /// One shared-lock epoch per distinct target; individual gets inside the
+  /// epoch with the lock share of the software overhead amortized.
+  LockPerTarget,
+  /// Full planner path: one lock epoch AND one vectored get per distinct
+  /// target, with registry-adjacent samples merged into single ranges
+  /// (core/fetch_plan.hpp).  A transfer that fails transport or delivers
+  /// samples with bad checksums degrades to per-sample resilient fetches
+  /// for just the affected ids.
+  Coalesced,
 };
 
 /// Resilient-fetch policy: how hard DDStore tries before degrading.
@@ -77,9 +96,10 @@ struct DDStoreConfig {
   /// (as a real deployment would); when false only group 0 pays, which
   /// keeps giant scaling benches cheap when preload time is excluded.
   bool charge_replica_preload = true;
-  /// Ablation: batch fetches take one lock epoch per distinct target
-  /// instead of one per sample, amortizing the lock/unlock overhead.
-  bool lock_per_target = false;
+  /// Batch fetch strategy (see BatchFetchMode): per-sample lock/get/unlock
+  /// (the paper), one lock epoch per target, or fully coalesced vectored
+  /// transfers.
+  BatchFetchMode batch_fetch = BatchFetchMode::PerSample;
   /// Communication framework (one-sided RMA is the paper's choice).
   CommMode comm_mode = CommMode::OneSidedRma;
   /// TwoSided only: mean delay until the target's broker thread services a
@@ -106,6 +126,25 @@ struct DDStoreStats {
   std::uint64_t checksum_failures = 0;  ///< payloads rejected by checksum
   std::uint64_t degraded_reads = 0;     ///< samples served via FS fallback
   std::uint64_t breaker_trips = 0;      ///< circuit-breaker open events
+
+  // Fetch-path traffic counters (every batch mode maintains these, so the
+  // lock/coalesce ablations can report exactly what each policy issued).
+  std::uint64_t lock_epochs = 0;    ///< MPI_Win_lock/unlock pairs taken
+  std::uint64_t rma_transfers = 0;  ///< window get/getv calls issued
+
+  // Planner counters (Coalesced batches only).
+  std::uint64_t coalesced_transfers = 0;  ///< vectored gets issued
+  std::uint64_t coalesced_segments = 0;   ///< merged ranges across them
+  std::uint64_t coalesced_bytes = 0;      ///< actual bytes they moved
+  /// Lock epochs a per-sample policy would have taken minus the epochs the
+  /// batched policy actually planned (unique samples - target epochs per
+  /// batch); fallback re-fetches do not subtract from this planner metric.
+  std::uint64_t lock_epochs_saved = 0;
+  /// Duplicate ids inside batches served from the first fetch (deduped).
+  std::uint64_t batch_dup_hits = 0;
+  /// Coalesced transfers that degraded to per-sample resilient fetches
+  /// (transport failure or checksum mismatch inside the staged payload).
+  std::uint64_t coalesced_fallbacks = 0;
 
   // Preload facts: set once at construction, preserved by reset_stats()
   // (epoch-boundary resets must not erase what construction cost).
@@ -144,7 +183,10 @@ class DDStore {
   /// Fetches and decodes one sample; records its loading latency.
   graph::GraphSample get(std::uint64_t id);
 
-  /// Fetches a batch in request order (the Data Loader path of Fig. 1).
+  /// Fetches a batch (the Data Loader path of Fig. 1).  Samples come back
+  /// in request order — duplicates and all — regardless of the configured
+  /// BatchFetchMode; repeated ids are fetched once and decoded per
+  /// occurrence.
   std::vector<graph::GraphSample> get_batch(
       std::span<const std::uint64_t> ids);
 
@@ -184,6 +226,22 @@ class DDStore {
 
   void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
                   bool lock_amortized = false);
+
+  std::vector<graph::GraphSample> get_batch_per_sample(
+      std::span<const std::uint64_t> ids);
+  std::vector<graph::GraphSample> get_batch_planned(
+      std::span<const std::uint64_t> ids, bool coalesce);
+
+  /// Executes one target's coalesced transfer: lock, vectored get, unlock.
+  /// Returns false when the transport failed (caller falls back to
+  /// per-sample resilient fetches for this target's ids).
+  bool run_coalesced_transfer(const TargetPlan& tp, MutableByteSpan staging);
+
+  /// Decodes `bytes` once per occurrence listed in `sample`, charging the
+  /// decode cost and recording `fetch_share + decode` latency each time.
+  void decode_occurrences(const PlannedSample& sample, ByteSpan bytes,
+                          double fetch_share,
+                          std::vector<graph::GraphSample>& out);
 
   /// The resilient one-sided path: retry with backoff per target, trip
   /// circuit breakers, fail over across replica groups, and finally fall

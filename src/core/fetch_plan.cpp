@@ -1,0 +1,73 @@
+#include "core/fetch_plan.hpp"
+
+#include <algorithm>
+
+namespace dds::core {
+
+FetchPlan plan_batch_fetch(const DataRegistry& registry,
+                           std::span<const std::uint64_t> ids) {
+  FetchPlan plan;
+  if (ids.empty()) return plan;
+
+  // 1. Dedupe, keeping every request position an id must fill.  Sorting the
+  // distinct ids keeps the occurrence map deterministic and cheap (no hash
+  // tables on the hot path).
+  std::vector<std::uint32_t> order(ids.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return ids[a] != ids[b] ? ids[a] < ids[b] : a < b;
+            });
+
+  struct Unique {
+    std::uint64_t id;
+    std::vector<std::uint32_t> positions;
+  };
+  std::vector<Unique> uniques;
+  uniques.reserve(ids.size());
+  for (const std::uint32_t pos : order) {
+    if (!uniques.empty() && uniques.back().id == ids[pos]) {
+      uniques.back().positions.push_back(pos);
+      ++plan.duplicate_hits;
+    } else {
+      uniques.push_back(Unique{ids[pos], {pos}});
+    }
+  }
+  plan.unique_samples = uniques.size();
+
+  // 2. Group by owner, ordered by chunk offset within each owner.  Distinct
+  // samples never share registry extents, so (owner, offset) is a total
+  // order.
+  std::sort(uniques.begin(), uniques.end(),
+            [&](const Unique& a, const Unique& b) {
+              const auto& ea = registry.lookup(a.id);
+              const auto& eb = registry.lookup(b.id);
+              return ea.owner != eb.owner ? ea.owner < eb.owner
+                                          : ea.offset < eb.offset;
+            });
+
+  // 3. Emit per-target plans, merging registry-adjacent extents into single
+  // ranges.  The staging buffer concatenates the ranges back-to-back, so a
+  // sample's staging offset is its range's staging start plus its offset
+  // within the range.
+  for (auto& u : uniques) {
+    const auto& entry = registry.lookup(u.id);
+    if (plan.targets.empty() ||
+        plan.targets.back().owner != static_cast<int>(entry.owner)) {
+      plan.targets.push_back(TargetPlan{static_cast<int>(entry.owner), {}, {},
+                                        0});
+    }
+    TargetPlan& tp = plan.targets.back();
+    if (tp.ranges.empty() ||
+        tp.ranges.back().offset + tp.ranges.back().length != entry.offset) {
+      tp.ranges.push_back(PlannedRange{entry.offset, 0});
+    }
+    tp.ranges.back().length += entry.length;
+    tp.samples.push_back(PlannedSample{u.id, tp.bytes, entry.length,
+                                       std::move(u.positions)});
+    tp.bytes += entry.length;
+  }
+  return plan;
+}
+
+}  // namespace dds::core

@@ -27,8 +27,13 @@ struct NetworkParams {
   double rma_intra_overhead_s = 40e-6;
   /// Share of the RMA software overhead attributable to the
   /// MPI_Win_lock/unlock pair; amortized away when a batch fetch keeps one
-  /// lock epoch open per target (DDStoreConfig::lock_per_target).
+  /// lock epoch open per target (BatchFetchMode::LockPerTarget/Coalesced).
   double rma_lock_fraction = 0.4;
+  /// Incremental software cost per additional IOV segment of a vectored
+  /// one-sided read (datatype/descriptor processing at the origin).  The
+  /// base per-transfer overhead is charged once per coalesced get; each
+  /// merged range beyond the first adds only this.
+  double rma_segment_overhead_s = 3e-6;
   /// Per-message software overhead of the two-sided (broker) alternative:
   /// matching, envelope handling, and copy on each side.
   double two_sided_overhead_s = 60e-6;

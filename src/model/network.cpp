@@ -47,6 +47,38 @@ double NetworkModel::rma_get_time(int origin, int target, std::uint64_t bytes,
   return res.acquire(ready, duration);
 }
 
+double NetworkModel::rma_getv_time(int origin, int target,
+                                   std::uint64_t bytes, std::size_t nsegments,
+                                   double start, double overhead_scale) {
+  DDS_CHECK(nsegments >= 1);
+  const auto& p = machine_.net;
+  const double seg_extra =
+      static_cast<double>(nsegments - 1) * p.rma_segment_overhead_s;
+  if (origin == target) {
+    // One local software overhead for the whole gather, then memcpy of the
+    // summed payload (plus the per-segment descriptor cost).
+    return start + p.rma_local_overhead_s + seg_extra +
+           static_cast<double>(bytes) / machine_.cpu.memcpy_bandwidth_Bps;
+  }
+  const double scale = rank_scale_[static_cast<std::size_t>(target)];
+  if (same_node(origin, target)) {
+    const double duration =
+        scale * static_cast<double>(bytes) / p.intra_bandwidth_Bps;
+    const double ready =
+        start + scale * (p.rma_intra_overhead_s * overhead_scale + seg_extra) +
+        p.intra_latency_s;
+    auto& res = fabric_[static_cast<std::size_t>(machine_.node_of_rank(target))];
+    return res.acquire(ready, duration);
+  }
+  const double duration =
+      scale * static_cast<double>(bytes) / p.inter_bandwidth_Bps;
+  const double ready =
+      start + scale * (p.rma_remote_overhead_s * overhead_scale + seg_extra) +
+      p.inter_latency_s;
+  auto& res = nic_[static_cast<std::size_t>(machine_.node_of_rank(target))];
+  return res.acquire(ready, duration);
+}
+
 double NetworkModel::two_sided_fetch_time(int origin, int target,
                                           std::uint64_t bytes, double start,
                                           double poll_delay) {

@@ -31,6 +31,17 @@ class NetworkModel {
   double rma_get_time(int origin, int target, std::uint64_t bytes,
                       double start, double overhead_scale = 1.0);
 
+  /// Completion time of a *vectored* one-sided get: `nsegments` disjoint
+  /// ranges of `target`'s window, `bytes` in total, moved in one RMA
+  /// transaction.  The fixed software overhead (alpha) is charged once for
+  /// the whole transfer — this is the coalescing win — while each segment
+  /// beyond the first adds only NetworkParams::rma_segment_overhead_s
+  /// (IOV descriptor processing); the wire term sums the bytes (bytes/beta)
+  /// and queues at the target NIC exactly like a single large get.
+  double rma_getv_time(int origin, int target, std::uint64_t bytes,
+                       std::size_t nsegments, double start,
+                       double overhead_scale = 1.0);
+
   /// Completion time of a two-sided request/response fetch (the
   /// message-broker design alternative the paper evaluated and rejected,
   /// §3.1): a small request message to the target, a service delay until

@@ -73,6 +73,25 @@ class Window {
   void get(MutableByteSpan dst, int target, std::size_t offset,
            std::uint64_t charge_bytes = 0, double overhead_scale = 1.0);
 
+  /// One disjoint range of a vectored get (see getv).
+  struct GetSegment {
+    std::size_t offset = 0;  ///< into the target's exposed region
+    MutableByteSpan dst;     ///< receives offset..offset+dst.size()
+  };
+
+  /// Vectored read: fetches every segment from `target`'s region in ONE
+  /// RMA transaction (the MPI analogue is an MPI_Get with an indexed
+  /// datatype).  Requires an active lock epoch on `target`.  Timing goes
+  /// through NetworkModel::rma_getv_time — the per-transfer software
+  /// overhead is charged once, the wire cost sums the segment bytes — and
+  /// fault injection treats the whole transfer as a single operation: one
+  /// outcome draw, a transport failure loses every segment, a corruption
+  /// flips one byte somewhere in the concatenated payload.
+  /// `charge_bytes` overrides the *total* size used for timing (0 => sum of
+  /// segment sizes), mirroring get()'s nominal-byte accounting.
+  void getv(std::span<const GetSegment> segments, int target,
+            std::uint64_t charge_bytes = 0, double overhead_scale = 1.0);
+
   /// Writes src into `target`'s region at `offset` (exclusive lock needed).
   void put(ByteSpan src, int target, std::size_t offset);
 

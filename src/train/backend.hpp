@@ -5,7 +5,9 @@
 // torch.utils.data.Dataset subclass integration (§3.2).
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/ddstore.hpp"
 #include "formats/reader.hpp"
@@ -19,6 +21,18 @@ class DataBackend {
 
   /// Timed load + decode of one sample.
   virtual graph::GraphSample load(std::uint64_t id) = 0;
+
+  /// Timed load + decode of a whole batch, in request order.  The default
+  /// loops load(); backends with a batched fast path (DDStore's fetch
+  /// planner) override it, which is how the batch-fetch modes and the
+  /// prefetching loader engage coalesced transfers.
+  virtual std::vector<graph::GraphSample> load_batch(
+      std::span<const std::uint64_t> ids) {
+    std::vector<graph::GraphSample> out;
+    out.reserve(ids.size());
+    for (const auto id : ids) out.push_back(load(id));
+    return out;
+  }
 
   virtual std::uint64_t num_samples() const = 0;
   virtual std::uint64_t nominal_sample_bytes() const = 0;
@@ -107,6 +121,10 @@ class DDStoreBackend final : public DataBackend {
 
   graph::GraphSample load(std::uint64_t id) override {
     return store_->get(id);
+  }
+  std::vector<graph::GraphSample> load_batch(
+      std::span<const std::uint64_t> ids) override {
+    return store_->get_batch(ids);
   }
   std::uint64_t num_samples() const override { return store_->num_samples(); }
   std::uint64_t nominal_sample_bytes() const override {

@@ -35,9 +35,9 @@ TrainEpochResult RealTrainer::run_epoch(std::uint64_t epoch) {
   const std::uint64_t steps = train_sampler_.steps_per_epoch();
   for (std::uint64_t step = 0; step < steps; ++step) {
     const auto ids = train_sampler_.batch_ids(step);
-    std::vector<graph::GraphSample> samples;
-    samples.reserve(ids.size());
-    for (const auto id : ids) samples.push_back(backend_->load(id));
+    // Whole-batch load: engages the backend's batched fast path (DDStore's
+    // fetch planner) when one is configured; identical samples either way.
+    const auto samples = backend_->load_batch(ids);
     const auto batch = graph::GraphBatch::collate(samples);
     const gnn::Tensor target = targets_of(batch);
 
@@ -83,11 +83,9 @@ double RealTrainer::evaluate(std::uint64_t first, std::uint64_t count) {
   const std::uint64_t eval_batch = config_.local_batch;
   for (std::uint64_t base = lo; base < hi; base += eval_batch) {
     const std::uint64_t end = std::min(hi, base + eval_batch);
-    std::vector<graph::GraphSample> samples;
-    samples.reserve(end - base);
-    for (std::uint64_t id = base; id < end; ++id) {
-      samples.push_back(backend_->load(id));
-    }
+    std::vector<std::uint64_t> ids(end - base);
+    for (std::uint64_t id = base; id < end; ++id) ids[id - base] = id;
+    const auto samples = backend_->load_batch(ids);
     const auto batch = graph::GraphBatch::collate(samples);
     const gnn::Tensor pred = model_.forward(batch);
     const double loss = gnn::mse_loss(pred, targets_of(batch), nullptr);

@@ -16,12 +16,18 @@ SimulatedTrainer::SimulatedTrainer(simmpi::Comm& comm, DataBackend& backend,
       loader_(backend, sampler, comm.clock()),
       grad_bytes_(model::hydragnn_param_bytes(config.input_dim,
                                               config.output_dim)) {
-  DDS_CHECK(config.prefetch_depth >= 1);
+  if (config.loader_mode == LoaderMode::Prefetching) {
+    DDS_CHECK(config.prefetch_depth >= 0);
+    ploader_.emplace(backend, sampler, comm_.clock(),
+                     PrefetchConfig{config.prefetch_depth,
+                                    config.non_overlap_fraction});
+  } else {
+    DDS_CHECK(config.prefetch_depth >= 1);
+  }
 }
 
 EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
   auto& clock = comm_.clock();
-  auto& net = comm_.runtime().network();
 
   comm_.barrier();  // all ranks enter the epoch together
   const double epoch_begin = clock.now();
@@ -33,7 +39,97 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
           : ResilienceReport{store_stats->retries, store_stats->failovers,
                              store_stats->checksum_failures,
                              store_stats->degraded_reads};
-  loader_.begin_epoch(epoch, comm_);
+  const FetchTrafficReport traffic_at_start =
+      store_stats == nullptr
+          ? FetchTrafficReport{}
+          : FetchTrafficReport{
+                store_stats->lock_epochs, store_stats->rma_transfers,
+                store_stats->coalesced_transfers,
+                store_stats->coalesced_segments, store_stats->coalesced_bytes,
+                store_stats->lock_epochs_saved, store_stats->batch_dup_hits,
+                store_stats->coalesced_fallbacks};
+  const double hidden_at_start =
+      ploader_ ? ploader_->overlap_hidden_seconds() : 0.0;
+
+  if (ploader_) {
+    ploader_->begin_epoch(epoch, comm_);
+    run_steps_prefetching();
+  } else {
+    loader_.begin_epoch(epoch, comm_);
+    run_steps_pipelined();
+  }
+
+  const double local_duration = clock.now() - epoch_begin;
+  const double epoch_seconds =
+      comm_.allreduce(local_duration, simmpi::Op::Max);
+
+  const std::uint64_t steps = sampler_->steps_per_epoch();
+  EpochReport report;
+  report.epoch = epoch;
+  report.epoch_seconds = epoch_seconds;
+  report.global_samples = steps * sampler_->local_batch() *
+                          static_cast<std::uint64_t>(comm_.size());
+  report.throughput =
+      epoch_seconds > 0
+          ? static_cast<double>(report.global_samples) / epoch_seconds
+          : 0.0;
+  report.mean_profile = profile_.diff(profile_at_start).allreduce_mean(comm_);
+
+  // Resilience + traffic counters: this rank's delta over the epoch, summed
+  // across ranks (untimed — bookkeeping must not perturb the time model).
+  ResilienceReport local;
+  FetchTrafficReport local_traffic;
+  if (store_stats != nullptr) {
+    local.retries = store_stats->retries - resilience_at_start.retries;
+    local.failovers = store_stats->failovers - resilience_at_start.failovers;
+    local.checksum_failures =
+        store_stats->checksum_failures - resilience_at_start.checksum_failures;
+    local.degraded_reads =
+        store_stats->degraded_reads - resilience_at_start.degraded_reads;
+    local_traffic.lock_epochs =
+        store_stats->lock_epochs - traffic_at_start.lock_epochs;
+    local_traffic.rma_transfers =
+        store_stats->rma_transfers - traffic_at_start.rma_transfers;
+    local_traffic.coalesced_transfers =
+        store_stats->coalesced_transfers - traffic_at_start.coalesced_transfers;
+    local_traffic.coalesced_segments =
+        store_stats->coalesced_segments - traffic_at_start.coalesced_segments;
+    local_traffic.coalesced_bytes =
+        store_stats->coalesced_bytes - traffic_at_start.coalesced_bytes;
+    local_traffic.lock_epochs_saved =
+        store_stats->lock_epochs_saved - traffic_at_start.lock_epochs_saved;
+    local_traffic.batch_dup_hits =
+        store_stats->batch_dup_hits - traffic_at_start.batch_dup_hits;
+    local_traffic.coalesced_fallbacks =
+        store_stats->coalesced_fallbacks - traffic_at_start.coalesced_fallbacks;
+  }
+  for (const auto& r : comm_.allgather_untimed(local)) {
+    report.resilience.retries += r.retries;
+    report.resilience.failovers += r.failovers;
+    report.resilience.checksum_failures += r.checksum_failures;
+    report.resilience.degraded_reads += r.degraded_reads;
+  }
+  for (const auto& t : comm_.allgather_untimed(local_traffic)) {
+    report.traffic.lock_epochs += t.lock_epochs;
+    report.traffic.rma_transfers += t.rma_transfers;
+    report.traffic.coalesced_transfers += t.coalesced_transfers;
+    report.traffic.coalesced_segments += t.coalesced_segments;
+    report.traffic.coalesced_bytes += t.coalesced_bytes;
+    report.traffic.lock_epochs_saved += t.lock_epochs_saved;
+    report.traffic.batch_dup_hits += t.batch_dup_hits;
+    report.traffic.coalesced_fallbacks += t.coalesced_fallbacks;
+  }
+  const double hidden_local =
+      ploader_ ? ploader_->overlap_hidden_seconds() - hidden_at_start : 0.0;
+  for (const double h : comm_.allgather_untimed(hidden_local)) {
+    report.overlap_hidden_s += h;
+  }
+  return report;
+}
+
+void SimulatedTrainer::run_steps_pipelined() {
+  auto& clock = comm_.clock();
+  auto& net = comm_.runtime().network();
 
   double gpu_free = clock.now();
   std::deque<double> gpu_done_history;
@@ -109,43 +205,79 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
 
   // The epoch ends when this rank's GPU pipeline drains.
   clock.advance_to(gpu_free);
-  const double local_duration = clock.now() - epoch_begin;
-  const double epoch_seconds =
-      comm_.allreduce(local_duration, simmpi::Op::Max);
+}
 
-  EpochReport report;
-  report.epoch = epoch;
-  report.epoch_seconds = epoch_seconds;
-  report.global_samples = steps * sampler_->local_batch() *
-                          static_cast<std::uint64_t>(comm_.size());
-  report.throughput =
-      epoch_seconds > 0
-          ? static_cast<double>(report.global_samples) / epoch_seconds
-          : 0.0;
-  report.mean_profile = profile_.diff(profile_at_start).allreduce_mean(comm_);
+void SimulatedTrainer::run_steps_prefetching() {
+  auto& clock = comm_.clock();
+  auto& net = comm_.runtime().network();
+  const std::uint64_t steps = sampler_->steps_per_epoch();
+  const std::uint64_t nominal_batch_payload =
+      sampler_->local_batch() * backend_->nominal_sample_bytes();
 
-  // Resilience counters: this rank's delta over the epoch, summed across
-  // ranks (untimed — bookkeeping must not perturb the time model).
-  ResilienceReport local;
-  if (store_stats != nullptr) {
-    local.retries = store_stats->retries - resilience_at_start.retries;
-    local.failovers = store_stats->failovers - resilience_at_start.failovers;
-    local.checksum_failures =
-        store_stats->checksum_failures - resilience_at_start.checksum_failures;
-    local.degraded_reads =
-        store_stats->degraded_reads - resilience_at_start.degraded_reads;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    // Same cross-rank CPU re-alignment as the pipelined loop (the gradient
+    // all-reduce below synchronizes every rank each step anyway).
+    {
+      const auto cpu_now = comm_.allgather_untimed(clock.now());
+      double max_cpu = clock.now();
+      for (const double t : cpu_now) max_cpu = std::max(max_cpu, t);
+      clock.advance_to(max_cpu);
+    }
+
+    // ---- load: staged batches are free, an empty buffer pays in full ----
+    const double t_load0 = clock.now();
+    const auto batch = ploader_->next();
+    DDS_CHECK(batch.has_value());
+    profile_.add(Phase::Load, clock.now() - t_load0);
+    if (tracer_ != nullptr) {
+      tracer_->record("PrefetchingLoader::next", clock.now() - t_load0);
+    }
+
+    // ---- collate ----
+    const model::BatchShape shape{batch->num_graphs, batch->num_nodes,
+                                  batch->num_edges(), config_.output_dim};
+    const double t_batch = compute_.batching_time(shape,
+                                                  nominal_batch_payload);
+    clock.advance(t_batch);
+    profile_.add(Phase::Batch, t_batch);
+    if (tracer_ != nullptr) tracer_->record("Batch::collate", t_batch);
+
+    // ---- GPU forward+backward; the loader refills underneath ----
+    const double fb = compute_.forward_backward_time(shape);
+    const double t_fb0 = clock.now();
+    ploader_->compute_window(fb);
+    const double window = clock.now() - t_fb0;
+    profile_.add(Phase::Forward, fb / 3.0);
+    profile_.add(Phase::Backward, 2.0 * fb / 3.0);
+    // Fetch overhang past the compute window is GPU idle time waiting on
+    // data; attribute it to Load so the breakdown stays honest.
+    if (window > fb) profile_.add(Phase::Load, window - fb);
+
+    // ---- gradient all-reduce: starts when the slowest rank drains ----
+    const double gpu_done = clock.now();
+    const auto all_done = comm_.allgather_untimed(gpu_done);
+    double max_done = gpu_done;
+    for (const double d : all_done) max_done = std::max(max_done, d);
+    const double comm_end =
+        net.allreduce_time(comm_.size(), grad_bytes_, max_done);
+    clock.advance_to(comm_end);
+    profile_.add(Phase::GradComm, comm_end - gpu_done);
+
+    // ---- optimizer ----
+    const double t_opt = compute_.optimizer_time(grad_bytes_);
+    clock.advance(t_opt);
+    profile_.add(Phase::Optimizer, t_opt);
+    if (tracer_ != nullptr) {
+      tracer_->record("Model::forward", fb / 3.0);
+      tracer_->record("Model::backward", 2.0 * fb / 3.0);
+      tracer_->record("MPI_Allreduce(gradients)", comm_end - gpu_done);
+      tracer_->record("AdamW::step", t_opt);
+    }
   }
-  for (const auto& r : comm_.allgather_untimed(local)) {
-    report.resilience.retries += r.retries;
-    report.resilience.failovers += r.failovers;
-    report.resilience.checksum_failures += r.checksum_failures;
-    report.resilience.degraded_reads += r.degraded_reads;
-  }
-  return report;
 }
 
 LatencyRecorder SimulatedTrainer::gather_latencies() {
-  const auto& mine = loader_.latencies().raw();
+  const auto& mine = sample_latencies().raw();
   const auto all =
       comm_.gatherv(std::span<const double>(mine.data(), mine.size()), 0);
   LatencyRecorder out(all.size());

@@ -18,12 +18,30 @@
 
 namespace dds::train {
 
+/// Which data-loading pipeline the trainer drives.
+enum class LoaderMode {
+  /// Per-sample DataLoader with GPU-timeline pipelining: the CPU loads
+  /// batch s+1 while the GPU runs batch s, bounded by prefetch_depth
+  /// back-pressure (PyTorch DataLoader semantics, §2.2).
+  Pipelined,
+  /// PrefetchingLoader: whole batches through DataBackend::load_batch
+  /// (engaging DDStore's coalesced fetch planner), double-buffered so the
+  /// fetch of batch k+1 hides under the compute window of batch k.
+  Prefetching,
+};
+
 struct SimTrainerConfig {
   std::uint64_t input_dim = 6;
   /// Nominal head width (paper-scale; e.g. 37,500 for AISD-Ex smooth even
   /// when the materialized target is smaller).
   std::uint64_t output_dim = 1;
-  int prefetch_depth = 2;  ///< batches the CPU may run ahead of the GPU
+  LoaderMode loader_mode = LoaderMode::Pipelined;
+  /// Pipelined: batches the CPU may run ahead of the GPU (>= 1).
+  /// Prefetching: batches the loader stages ahead (0 = serial baseline).
+  int prefetch_depth = 2;
+  /// Prefetching only: fraction of an overlapped fetch/compute window that
+  /// cannot hide (see PrefetchConfig::non_overlap_fraction).
+  double non_overlap_fraction = 0.05;
 };
 
 /// Job-wide resilience activity during one epoch (summed over ranks).
@@ -40,6 +58,20 @@ struct ResilienceReport {
   }
 };
 
+/// Fetch-path traffic during one epoch (summed over ranks): exactly what
+/// the configured BatchFetchMode issued.  Zero unless the backend is
+/// DDStore.
+struct FetchTrafficReport {
+  std::uint64_t lock_epochs = 0;
+  std::uint64_t rma_transfers = 0;
+  std::uint64_t coalesced_transfers = 0;
+  std::uint64_t coalesced_segments = 0;
+  std::uint64_t coalesced_bytes = 0;
+  std::uint64_t lock_epochs_saved = 0;
+  std::uint64_t batch_dup_hits = 0;
+  std::uint64_t coalesced_fallbacks = 0;
+};
+
 struct EpochReport {
   std::uint64_t epoch = 0;
   double epoch_seconds = 0;       ///< max across ranks
@@ -47,6 +79,10 @@ struct EpochReport {
   double throughput = 0;          ///< samples / second, job-wide
   PhaseProfile mean_profile;      ///< mean per-rank phase seconds
   ResilienceReport resilience;    ///< summed across ranks
+  FetchTrafficReport traffic;     ///< summed across ranks
+  /// Fetch seconds hidden under compute by the prefetching loader, summed
+  /// across ranks (0 in Pipelined mode).
+  double overlap_hidden_s = 0;
 };
 
 class SimulatedTrainer {
@@ -60,9 +96,15 @@ class SimulatedTrainer {
 
   /// Per-sample loading latencies recorded on this rank so far.
   const LatencyRecorder& sample_latencies() const {
-    return loader_.latencies();
+    return ploader_ ? ploader_->latencies() : loader_.latencies();
   }
-  void reset_latencies() { loader_.reset_latencies(); }
+  void reset_latencies() {
+    if (ploader_) {
+      ploader_->reset_latencies();
+    } else {
+      loader_.reset_latencies();
+    }
+  }
 
   /// Collective: concatenates every rank's latencies on rank 0.
   LatencyRecorder gather_latencies();
@@ -75,12 +117,17 @@ class SimulatedTrainer {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  void run_steps_pipelined();
+  void run_steps_prefetching();
+
   simmpi::Comm comm_;
   DataBackend* backend_;
   Sampler* sampler_;
   model::ComputeModel compute_;
   SimTrainerConfig config_;
   DataLoader loader_;
+  /// Engaged instead of loader_ when loader_mode == Prefetching.
+  std::optional<PrefetchingLoader> ploader_;
   std::uint64_t grad_bytes_;
   PhaseProfile profile_;   ///< cumulative across epochs (this rank)
   Tracer* tracer_ = nullptr;

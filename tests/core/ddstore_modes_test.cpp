@@ -97,7 +97,8 @@ TEST_F(ModesTest, LockPerTargetBatchIsCheaperThanPerSample) {
     rt.run([&](simmpi::Comm& c) {
       auto client = client_for(c);
       DDStoreConfig cfg;
-      cfg.lock_per_target = amortize;
+      cfg.batch_fetch = amortize ? BatchFetchMode::LockPerTarget
+                                 : BatchFetchMode::PerSample;
       DDStore store(c, *reader_, client, cfg);
       c.barrier();
       c.clock().reset();

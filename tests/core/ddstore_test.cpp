@@ -173,7 +173,7 @@ TEST_F(DDStoreTest, LockPerTargetBatchMatchesDefault) {
   rt.run([&](simmpi::Comm& c) {
     auto client = client_for(c);
     DDStoreConfig cfg;
-    cfg.lock_per_target = true;
+    cfg.batch_fetch = BatchFetchMode::LockPerTarget;
     DDStore store(c, reader, client, cfg);
     const std::vector<std::uint64_t> ids = {5, 50, 12, 48, 20, 1};
     const auto batch = store.get_batch(ids);

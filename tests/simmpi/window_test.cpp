@@ -54,6 +54,98 @@ TEST(Window, GetWithOffsetAndPartialLength) {
   });
 }
 
+TEST(Window, GetvReadsEverySegmentInOneTransfer) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    ByteBuffer local = pattern_buffer(c.rank(), 1024);
+    Window win(c, MutableByteSpan(local));
+    const int target = 1 - c.rank();
+    const ByteBuffer expect = pattern_buffer(target, 1024);
+
+    ByteBuffer a(64), b(128), d(32);
+    const std::vector<Window::GetSegment> segs = {
+        {0, MutableByteSpan(a)},
+        {256, MutableByteSpan(b)},
+        {900, MutableByteSpan(d)},
+    };
+    const double t0 = c.clock().now();
+    win.lock(target, LockType::Shared);
+    win.getv(segs, target);
+    win.unlock(target);
+    const double vectored = c.clock().now() - t0;
+
+    EXPECT_EQ(0, std::memcmp(a.data(), expect.data(), a.size()));
+    EXPECT_EQ(0, std::memcmp(b.data(), expect.data() + 256, b.size()));
+    EXPECT_EQ(0, std::memcmp(d.data(), expect.data() + 900, d.size()));
+
+    // The same three ranges as individual gets pay the per-get software
+    // overhead three times; the vectored transfer pays it once plus two
+    // cheap segment descriptors.
+    const double t1 = c.clock().now();
+    win.lock(target, LockType::Shared);
+    win.get(MutableByteSpan(a), target, 0);
+    win.get(MutableByteSpan(b), target, 256);
+    win.get(MutableByteSpan(d), target, 900);
+    win.unlock(target);
+    const double separate = c.clock().now() - t1;
+    EXPECT_LT(vectored, separate);
+    win.fence();
+  });
+}
+
+TEST(Window, GetvChargeBytesOverridesTimingOnly) {
+  Runtime rt(2, test_machine());
+  rt.run([](Comm& c) {
+    ByteBuffer local = pattern_buffer(c.rank(), 512);
+    Window win(c, MutableByteSpan(local));
+    const int target = 1 - c.rank();
+
+    ByteBuffer small(16), big(16);
+    const std::vector<Window::GetSegment> seg_small = {
+        {0, MutableByteSpan(small)}};
+    const std::vector<Window::GetSegment> seg_big = {
+        {0, MutableByteSpan(big)}};
+    win.lock(target, LockType::Shared);
+    const double t0 = c.clock().now();
+    win.getv(seg_small, target);
+    const double cheap = c.clock().now() - t0;
+    win.getv(seg_big, target, /*charge_bytes=*/1 << 20);
+    const double charged = c.clock().now() - t0 - cheap;
+    win.unlock(target);
+    EXPECT_GT(charged, cheap);   // nominal bytes dominate the timing
+    EXPECT_EQ(small, big);       // data plane moved the same 16 bytes
+    win.fence();
+  });
+}
+
+TEST(Window, GetvOutOfBoundsThrows) {
+  Runtime rt(2, test_machine());
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 ByteBuffer local(64);
+                 Window win(c, MutableByteSpan(local));
+                 ByteBuffer dst(32);
+                 const std::vector<Window::GetSegment> segs = {
+                     {40, MutableByteSpan(dst)}};  // 40+32 > 64
+                 win.lock(0, LockType::Shared);
+                 win.getv(segs, 0);
+                 win.unlock(0);
+               }),
+               DataError);
+}
+
+TEST(Window, GetvWithoutLockThrows) {
+  Runtime rt(2, test_machine());
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 ByteBuffer local(64);
+                 Window win(c, MutableByteSpan(local));
+                 ByteBuffer dst(8);
+                 const std::vector<Window::GetSegment> segs = {
+                     {0, MutableByteSpan(dst)}};
+                 win.getv(segs, 0);
+               }),
+               InternalError);
+}
+
 TEST(Window, OutOfBoundsGetThrows) {
   Runtime rt(2, test_machine());
   EXPECT_THROW(rt.run([](Comm& c) {

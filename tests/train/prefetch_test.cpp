@@ -1,0 +1,195 @@
+// PrefetchingLoader: double-buffered overlap of batch fetch and compute.
+// Checks the overlap cost model (max + rho * min), the depth knob, the
+// hidden-seconds accounting, and the SimulatedTrainer integration
+// (Prefetching mode beats the serial baseline and reports planner traffic).
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "datagen/dataset.hpp"
+#include "formats/cff.hpp"
+#include "train/sim_trainer.hpp"
+
+namespace dds::train {
+namespace {
+
+using datagen::DatasetKind;
+using model::test_machine;
+
+constexpr std::uint64_t kSamples = 128;
+
+class PrefetchTest : public ::testing::Test {
+ protected:
+  PrefetchTest()
+      : machine_(test_machine()),
+        fs_(machine_.fs, /*nnodes=*/2),
+        ds_(datagen::make_dataset(DatasetKind::Ising, kSamples, 3)) {
+    formats::CffWriter::stage(fs_, "cff/ds", *ds_, 2);
+  }
+
+  fs::FsClient client_for(simmpi::Comm& c) {
+    return fs::FsClient(fs_, machine_.node_of_rank(c.world_rank()), c.clock(),
+                        c.rng());
+  }
+
+  formats::CffReader reader() {
+    return formats::CffReader(fs_, "cff/ds",
+                              ds_->spec().nominal_cff_sample_bytes());
+  }
+
+  /// Runs one epoch of next()/compute_window(C) through a DDStore backend
+  /// and returns rank 0's (epoch seconds, hidden seconds).
+  std::pair<double, double> run_loader_epoch(int depth, double rho,
+                                             double compute_s) {
+    double elapsed = 0, hidden = 0;
+    std::mutex m;
+    simmpi::Runtime rt(2, machine_);
+    const auto r = reader();
+    rt.run([&](simmpi::Comm& c) {
+      auto client = client_for(c);
+      core::DDStoreConfig cfg;
+      cfg.batch_fetch = core::BatchFetchMode::Coalesced;
+      core::DDStore store(c, r, client, cfg);
+      DDStoreBackend backend(store);
+      GlobalShuffleSampler sampler(kSamples, 8, 1);
+      PrefetchingLoader loader(backend, sampler, c.clock(),
+                               PrefetchConfig{depth, rho});
+      c.barrier();
+      c.clock().reset();
+      const double t0 = c.clock().now();
+      loader.begin_epoch(0, c);
+      std::uint64_t batches = 0;
+      while (const auto batch = loader.next()) {
+        EXPECT_EQ(batch->num_graphs, 8u);
+        loader.compute_window(compute_s);
+        ++batches;
+      }
+      EXPECT_EQ(batches, loader.steps_per_epoch());
+      EXPECT_EQ(loader.latencies().count(), batches * 8);
+      const double t = c.allreduce(c.clock().now() - t0, simmpi::Op::Max);
+      const std::scoped_lock lock(m);
+      if (c.rank() == 0) {
+        elapsed = t;
+        hidden = loader.overlap_hidden_seconds();
+      }
+    });
+    return {elapsed, hidden};
+  }
+
+  model::MachineConfig machine_;
+  fs::ParallelFileSystem fs_;
+  std::unique_ptr<datagen::SyntheticDataset> ds_;
+};
+
+TEST_F(PrefetchTest, DepthOneHidesFetchUnderCompute) {
+  // A compute window comfortably longer than one batch fetch: with depth 1
+  // every fetch after the first should hide, so the epoch approaches
+  // steps * C, while depth 0 pays steps * (F + C).
+  const double compute_s = 5e-3;
+  const auto [serial, hidden0] = run_loader_epoch(0, 0.0, compute_s);
+  const auto [overlapped, hidden1] = run_loader_epoch(1, 0.0, compute_s);
+  EXPECT_LT(overlapped, serial);
+  EXPECT_EQ(hidden0, 0.0);
+  EXPECT_GT(hidden1, 0.0);
+  // The saving visible in the epoch time matches the hidden accounting to
+  // within the cross-rank allreduce of the max.
+  EXPECT_GT(serial - overlapped, 0.5 * hidden1);
+}
+
+TEST_F(PrefetchTest, FullNonOverlapFractionDisablesHiding) {
+  // rho = 1: max(F, C) + min(F, C) = F + C — nothing hides, the "overlap"
+  // epoch costs the same as the serial one.
+  const double compute_s = 2e-3;
+  const auto [serial, h0] = run_loader_epoch(0, 1.0, compute_s);
+  const auto [overlapped, h1] = run_loader_epoch(1, 1.0, compute_s);
+  EXPECT_EQ(h0, 0.0);
+  EXPECT_EQ(h1, 0.0);
+  // Queueing at shared NICs is sensitive to issue times, which differ
+  // slightly between the two schedules; allow that jitter but nothing more.
+  EXPECT_NEAR(overlapped, serial, serial * 1e-3);
+}
+
+TEST_F(PrefetchTest, DeeperBufferStillBeatsSerial) {
+  // Depth 2 refills greedily: the fetch that crosses the end of a compute
+  // window overshoots it, and the overshoot is paid serially, so depth 2
+  // may hide slightly less than depth 1. It must still hide real time and
+  // still beat the serial baseline.
+  const double compute_s = 3e-3;
+  const auto [d0, h0] = run_loader_epoch(0, 0.05, compute_s);
+  const auto [d1, h1] = run_loader_epoch(1, 0.05, compute_s);
+  const auto [d2, h2] = run_loader_epoch(2, 0.05, compute_s);
+  EXPECT_EQ(h0, 0.0);
+  EXPECT_LT(d1, d0);
+  EXPECT_GT(h1, 0.0);
+  EXPECT_LT(d2, d0);
+  EXPECT_GT(h2, 0.0);
+}
+
+TEST_F(PrefetchTest, SimulatedTrainerPrefetchingModeReportsOverlap) {
+  simmpi::Runtime rt(4, machine_);
+  const auto r = reader();
+  rt.run([&](simmpi::Comm& c) {
+    auto client = client_for(c);
+    core::DDStoreConfig scfg;
+    scfg.batch_fetch = core::BatchFetchMode::Coalesced;
+    core::DDStore store(c, r, client, scfg);
+    DDStoreBackend backend(store);
+    GlobalShuffleSampler sampler(kSamples, 4, 2);
+    SimTrainerConfig cfg;
+    cfg.input_dim = 2;
+    cfg.output_dim = 1;
+    cfg.loader_mode = LoaderMode::Prefetching;
+    cfg.prefetch_depth = 1;
+    SimulatedTrainer trainer(c, backend, sampler, machine_, cfg);
+    const auto report = trainer.run_epoch(0);
+    EXPECT_EQ(report.global_samples, kSamples / (4 * 4) * 16);
+    EXPECT_GT(report.epoch_seconds, 0.0);
+    EXPECT_GT(report.throughput, 0.0);
+    EXPECT_GT(report.overlap_hidden_s, 0.0);
+    // The coalesced planner ran: traffic counters are populated and every
+    // batch cost at most one lock epoch per distinct target.
+    EXPECT_GT(report.traffic.coalesced_transfers, 0u);
+    EXPECT_GT(report.traffic.lock_epochs_saved, 0u);
+    EXPECT_EQ(report.traffic.rma_transfers, report.traffic.coalesced_transfers);
+    EXPECT_EQ(report.traffic.coalesced_fallbacks, 0u);
+    // Sample latencies were recorded through the prefetching loader.
+    EXPECT_EQ(trainer.sample_latencies().count(),
+              sampler.steps_per_epoch() * 4);
+    // All ranks agree on the report.
+    const auto t = c.allgather(report.epoch_seconds);
+    for (const double v : t) EXPECT_DOUBLE_EQ(v, report.epoch_seconds);
+  });
+}
+
+TEST_F(PrefetchTest, PrefetchingBeatsSerialBaselineEndToEnd) {
+  // The tentpole claim at test scale, through the full trainer: coalesced
+  // fetches + depth-1 prefetch strictly beat the per-sample serial path.
+  double serial = 0, prefetched = 0;
+  std::mutex m;
+  const auto r = reader();
+  for (const bool prefetch : {false, true}) {
+    simmpi::Runtime rt(4, machine_);
+    rt.run([&](simmpi::Comm& c) {
+      auto client = client_for(c);
+      core::DDStoreConfig scfg;
+      scfg.batch_fetch = prefetch ? core::BatchFetchMode::Coalesced
+                                  : core::BatchFetchMode::PerSample;
+      core::DDStore store(c, r, client, scfg);
+      DDStoreBackend backend(store);
+      GlobalShuffleSampler sampler(kSamples, 4, 2);
+      SimTrainerConfig cfg;
+      cfg.input_dim = 2;
+      cfg.output_dim = 1;
+      cfg.loader_mode = LoaderMode::Prefetching;
+      cfg.prefetch_depth = prefetch ? 1 : 0;
+      SimulatedTrainer trainer(c, backend, sampler, machine_, cfg);
+      const auto report = trainer.run_epoch(0);
+      const std::scoped_lock lock(m);
+      if (c.rank() == 0) (prefetch ? prefetched : serial) = report.epoch_seconds;
+    });
+  }
+  EXPECT_LT(prefetched, serial);
+}
+
+}  // namespace
+}  // namespace dds::train
