@@ -86,6 +86,33 @@ train::PhaseProfile RunResult::mean_profile() const {
   return p;
 }
 
+std::vector<train::EpochReport::MetricSample> RunResult::summed_metrics()
+    const {
+  std::vector<train::EpochReport::MetricSample> out;
+  for (const auto& e : epochs) {
+    if (out.empty()) {
+      out = e.metrics;
+      continue;
+    }
+    DDS_CHECK(e.metrics.size() == out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      DDS_CHECK(e.metrics[i].name == out[i].name);
+      out[i].value += e.metrics[i].value;
+    }
+  }
+  return out;
+}
+
+std::string metrics_json_fields(
+    const std::vector<train::EpochReport::MetricSample>& metrics) {
+  std::string out;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + metrics[i].name + "\": " + std::to_string(metrics[i].value);
+  }
+  return out;
+}
+
 RunResult run_training(StagedData& data, const Scenario& scenario,
                        BackendKind backend) {
   RunResult result;
@@ -137,14 +164,21 @@ RunResult run_training(StagedData& data, const Scenario& scenario,
     comm.barrier();
     if (store) store->reset_stats();
 
-    train::GlobalShuffleSampler sampler(data.dataset().size(),
-                                        scenario.local_batch, scenario.seed);
+    std::unique_ptr<train::Sampler> sampler;
+    if (scenario.shuffle == ShuffleKind::Local) {
+      sampler = std::make_unique<train::LocalShuffleSampler>(
+          data.dataset().size(), scenario.local_batch, scenario.seed);
+    } else {
+      sampler = std::make_unique<train::GlobalShuffleSampler>(
+          data.dataset().size(), scenario.local_batch, scenario.seed);
+    }
     train::SimTrainerConfig cfg;
     cfg.input_dim = data.input_dim();
     cfg.output_dim = data.dataset().spec().target_dim;
     cfg.loader_mode = scenario.loader_mode;
     cfg.prefetch_depth = scenario.prefetch_depth;
-    train::SimulatedTrainer trainer(comm, *db, sampler, scenario.machine, cfg);
+    train::SimulatedTrainer trainer(comm, *db, *sampler, scenario.machine,
+                                    cfg);
 
     std::vector<train::EpochReport> reports;
     for (int e = 0; e < scenario.epochs; ++e) {

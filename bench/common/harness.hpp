@@ -33,6 +33,16 @@ inline const char* backend_name(BackendKind k) {
   return "?";
 }
 
+/// Sampler choice for a scenario (§2.2): global shuffling is the access
+/// pattern DDStore exists to serve; local shuffling confines each rank to
+/// its own shard (and is the access pattern a per-rank hot-sample cache
+/// captures completely once warm).
+enum class ShuffleKind { Global, Local };
+
+inline const char* shuffle_name(ShuffleKind k) {
+  return k == ShuffleKind::Global ? "global" : "local";
+}
+
 /// One experiment configuration (a point in a figure).
 struct Scenario {
   model::MachineConfig machine;
@@ -50,6 +60,7 @@ struct Scenario {
   /// overlap).  prefetch_depth follows SimTrainerConfig semantics.
   train::LoaderMode loader_mode = train::LoaderMode::Pipelined;
   int prefetch_depth = 2;
+  ShuffleKind shuffle = ShuffleKind::Global;
 };
 
 /// A staged dataset: simulated FS with the CFF container (always) and the
@@ -88,7 +99,17 @@ struct RunResult {
   double mean_throughput() const;
   /// Mean per-rank phase profile over epochs.
   train::PhaseProfile mean_profile() const;
+  /// Every backend metric summed over the run's epochs (already summed
+  /// across ranks per epoch), in registry order.  Empty for file backends.
+  std::vector<train::EpochReport::MetricSample> summed_metrics() const;
 };
+
+/// Serializes metric samples as JSON object fields: `"name": value, ...`
+/// (no surrounding braces; empty string when `metrics` is empty).  Benches
+/// append this to their per-cell JSON so every registered counter is
+/// reported without per-bench plumbing.
+std::string metrics_json_fields(
+    const std::vector<train::EpochReport::MetricSample>& metrics);
 
 /// Runs the scenario with the given backend.  Virtual clocks are reset
 /// after backend setup so the reported epochs measure steady-state

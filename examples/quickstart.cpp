@@ -43,6 +43,7 @@ int main() {
 
     core::DDStoreConfig config;
     config.width = 4;  // two replica groups of four ranks each
+    config.cache_capacity_bytes = 64ull << 20;  // per-rank hot-sample LRU
     core::DDStore store(world, reader, fs_client, config);
 
     train::DDStoreBackend backend(store);
@@ -68,15 +69,18 @@ int main() {
     }
 
     // --- 5. stats ----------------------------------------------------------
+    // stats() is a view over the store's MetricsRegistry; cache_hit_rate()
+    // summarizes the Cache stage (epoch 1 re-hits whatever epoch 0 left
+    // resident in the 64 MiB LRU).
     const auto& st = store.stats();
     if (world.rank() < 2) {  // keep the output short
       std::printf(
           "rank %d (group %d of %d): %llu local + %llu remote fetches, "
-          "median fetch %.0f us\n",
+          "cache hit rate %.1f%%, median fetch %.0f us\n",
           world.rank(), store.replica_index(), store.num_replicas(),
           static_cast<unsigned long long>(st.local_gets),
           static_cast<unsigned long long>(st.remote_gets),
-          st.latency.median() * 1e6);
+          100.0 * st.cache_hit_rate(), st.latency.median() * 1e6);
     }
     store.fence();
   });

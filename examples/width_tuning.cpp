@@ -35,7 +35,7 @@ int main() {
 
   std::printf("# DDStore width tuning (%s, %d ranks, AISD-Ex discrete)\n",
               machine.name.c_str(), kRanks);
-  std::printf("width, replicas, local%%, p50_fetch, p99_fetch, "
+  std::printf("width, replicas, local%%, cache_hit%%, p50_fetch, p99_fetch, "
               "chunk_mem_per_rank(full scale)\n");
 
   for (const int width : {2, 4, 8, 16, 32}) {
@@ -46,12 +46,17 @@ int main() {
       core::DDStoreConfig config;
       config.width = width;
       config.charge_replica_preload = false;
+      config.cache_capacity_bytes = 32ull << 20;  // hot-sample LRU per rank
       core::DDStore store(world, reader, fs_client, config);
       train::DDStoreBackend backend(store);
       train::GlobalShuffleSampler sampler(kSamples, 64, 3);
       train::DataLoader loader(backend, sampler, world.clock());
-      loader.begin_epoch(0, world);
-      while (loader.next()) {
+      // Two epochs: the second one measures how much of the workload the
+      // warm LRU absorbs at this width.
+      for (std::uint64_t epoch = 0; epoch < 2; ++epoch) {
+        loader.begin_epoch(epoch, world);
+        while (loader.next()) {
+        }
       }
       store.fence();
 
@@ -60,8 +65,9 @@ int main() {
         const double local_pct =
             100.0 * static_cast<double>(st.local_gets) /
             static_cast<double>(st.local_gets + st.remote_gets);
-        std::printf("%5d, %8d, %5.1f, %s, %s, %s\n", width,
+        std::printf("%5d, %8d, %5.1f, %9.1f, %s, %s, %s\n", width,
                     store.num_replicas(), local_pct,
+                    100.0 * st.cache_hit_rate(),
                     format_seconds(st.latency.percentile(50)).c_str(),
                     format_seconds(st.latency.percentile(99)).c_str(),
                     format_bytes(full_bytes / width).c_str());

@@ -1,8 +1,6 @@
 #include "core/ddstore.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <unordered_map>
+#include <vector>
 
 #include "common/checksum.hpp"
 
@@ -59,11 +57,7 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
     : comm_(comm),
       width_(config.width == 0 ? comm.size() : config.width),
       config_(config),
-      nominal_sample_bytes_(reader.nominal_sample_bytes()),
-      decode_(config.decode),
-      reader_(&reader),
-      fs_client_(&fs_client),
-      health_(static_cast<std::size_t>(comm.size())) {
+      nominal_sample_bytes_(reader.nominal_sample_bytes()) {
   if (width_ < 1 || comm.size() % width_ != 0) {
     throw ConfigError("DDStore width " + std::to_string(width_) +
                       " must divide the communicator size " +
@@ -90,22 +84,32 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
       injector != nullptr && injector->config().fs_read_error_prob > 0.0;
   if (fs_faults_armed) fs_client.arm_faults(injector, comm.world_rank());
 
+  std::uint64_t preload_retries = 0;
   const double preload_start = fs_client.clock().now();
   const auto ids = assignment.ids_of(group_.rank());
   const std::shared_ptr<const ChunkData> chunk_data =
       twins.share<ChunkData>(0, [&] {
-        return std::make_shared<ChunkData>(preload_chunk(
-            reader, fs_client, ids, stats_.preload_retries));
+        return std::make_shared<ChunkData>(
+            preload_chunk(reader, fs_client, ids, preload_retries));
       });
   if (twins.rank() != 0 && config_.charge_replica_preload) {
     for (const std::uint64_t id : ids) {
       // timed, bytes discarded
-      (void)read_with_retry(reader, fs_client, id, stats_.preload_retries);
+      (void)read_with_retry(reader, fs_client, id, preload_retries);
     }
   }
   chunk_ = std::shared_ptr<const ByteBuffer>(chunk_data, &chunk_data->bytes);
-  stats_.preload_seconds = fs_client.clock().now() - preload_start;
   if (fs_faults_armed) fs_client.disarm_faults();
+
+  // Preload facts are construction-time state, registered preserved so
+  // reset_stats() at epoch boundaries cannot erase what construction cost.
+  // Registered before the engine's fetch counters on every rank, keeping
+  // registry layouts rank-identical (the trainer sums snapshots
+  // elementwise).
+  metrics_.counter("preload_retries", /*preserve_on_reset=*/true) +=
+      preload_retries;
+  metrics_.gauge("preload_seconds", /*preserve_on_reset=*/true)
+      .set(fs_client.clock().now() - preload_start);
 
   // 3. Data Registry: group 0 gathers chunk lengths and checksums to comm
   // rank 0, which builds the (globally identical) index once; everyone
@@ -136,308 +140,41 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
   auto* mutable_bytes = const_cast<std::byte*>(chunk_->data());
   window_.emplace(comm_, MutableByteSpan(mutable_bytes, chunk_->size()),
                   chunk_);
+
+  // 5. The read path: every get/get_batch from here on runs through the
+  // staged FetchEngine, which registers its counters in a fixed order.
+  engine_.emplace(comm_, group_, *window_, *registry_, config_, reader,
+                  fs_client, width_, nominal_sample_bytes_, metrics_);
 }
 
-ByteBuffer DDStore::get_bytes(std::uint64_t id) {
-  const auto& entry = registry_->lookup(id);
-  ByteBuffer out(entry.length);
-  fetch_into(id, MutableByteSpan(out), /*locked=*/false);
-  return out;
-}
-
-bool DDStore::payload_intact(const DataRegistry::Entry& entry, ByteSpan dst) {
-  if (!config_.retry.verify_checksums || entry.checksum == 0) return true;
-  if (checksum64(dst) == entry.checksum) return true;
-  ++stats_.checksum_failures;
-  return false;
-}
-
-void DDStore::fetch_resilient(std::uint64_t id,
-                              const DataRegistry::Entry& entry,
-                              MutableByteSpan dst, bool locked,
-                              double overhead_scale) {
-  const RetryPolicy& rp = config_.retry;
-  const int owner = static_cast<int>(entry.owner);
-  const int primary = primary_target(owner);
-  const int replicas = num_replicas();
-  const int hops = rp.cross_group_failover ? replicas : 1;
-
-  for (int hop = 0; hop < hops; ++hop) {
-    // Candidate order: own group first, then sibling groups' twins in a
-    // deterministic rotation starting from this rank's replica index.
-    const int target = ((replica_index() + hop) % replicas) * width_ + owner;
-    TargetHealth& health = health_[static_cast<std::size_t>(target)];
-    if (health.skip_remaining > 0) {
-      // Breaker open: don't hammer a target that just failed repeatedly.
-      --health.skip_remaining;
-      continue;
-    }
-    // Inside a batch lock epoch the primary is already locked by the
-    // caller; failover targets always take their own shared lock.
-    const bool own_lock = !(locked && target == primary);
-    for (int attempt = 1; attempt <= rp.max_attempts; ++attempt) {
-      if (attempt > 1) {
-        double delay = rp.backoff_base_s;
-        for (int i = 2; i < attempt; ++i) delay *= rp.backoff_multiplier;
-        delay *= 1.0 + rp.backoff_jitter * comm_.rng().uniform();
-        comm_.clock().advance(delay);
-        ++stats_.retries;
-      }
-      bool delivered = false;
-      if (own_lock) {
-        window_->lock(target, simmpi::LockType::Shared);
-        ++stats_.lock_epochs;
-      }
-      try {
-        ++stats_.rma_transfers;
-        window_->get(dst, target, entry.offset, nominal_sample_bytes_,
-                     overhead_scale);
-        delivered = true;
-      } catch (const NetworkError&) {
-        // Transport-level failure: the time was already charged by the
-        // window; fall through to the retry/failover bookkeeping.
-      }
-      if (own_lock) window_->unlock(target);
-      if (delivered && payload_intact(entry, ByteSpan(dst))) {
-        health.consecutive_failures = 0;
-        if (target != primary) ++stats_.failovers;
-        return;
-      }
-      ++health.consecutive_failures;
-      if (health.consecutive_failures >= rp.breaker_threshold) {
-        health.consecutive_failures = 0;
-        health.skip_remaining = rp.breaker_cooldown_fetches;
-        ++stats_.breaker_trips;
-        break;  // give up on this target, move to the next candidate
-      }
-    }
-  }
-
-  if (rp.fs_fallback) {
-    // Degraded mode: every in-memory route is exhausted; re-read the
-    // sample from the parallel filesystem through the format plugin.
-    const ByteBuffer bytes = reader_->read_bytes(id, *fs_client_);
-    if (bytes.size() != entry.length ||
-        (rp.verify_checksums && entry.checksum != 0 &&
-         checksum64(ByteSpan(bytes)) != entry.checksum)) {
-      throw DataError("FS fallback read of sample " + std::to_string(id) +
-                      " disagrees with the registry");
-    }
-    std::memcpy(dst.data(), bytes.data(), bytes.size());
-    ++stats_.degraded_reads;
-    return;
-  }
-  throw IoError("sample " + std::to_string(id) +
-                " unreachable: every replica target failed and FS fallback "
-                "is disabled");
-}
-
-void DDStore::fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
-                         bool lock_amortized) {
-  const auto& entry = registry_->lookup(id);
-  const int owner = static_cast<int>(entry.owner);
-  DDS_CHECK(dst.size() == entry.length);
-
-  if (config_.comm_mode == CommMode::TwoSided && owner != group_.rank()) {
-    // Message-broker alternative: request/response through the owner's
-    // broker.  The data plane still reads the owner's exposed region (the
-    // broker would serve from the same chunk); timing goes through the
-    // two-sided model including the broker service delay.
-    const auto* region = static_cast<const std::byte*>(
-        window_->region_data(primary_target(owner)));
-    std::memcpy(dst.data(), region + entry.offset, dst.size());
-    auto& rt = comm_.runtime();
-    const double poll = comm_.rng().exponential(1.0 /
-                                                config_.broker_poll_mean_s);
-    const double done = rt.network().two_sided_fetch_time(
-        comm_.world_rank(), group_.world_rank_of(owner),
-        nominal_sample_bytes_, comm_.clock().now(), poll);
-    comm_.clock().advance_to(done);
-  } else {
-    // One-sided RMA (the paper's design): lock, get, unlock, hardened with
-    // retry/failover/checksum verification.  When the caller holds a
-    // batch-wide lock epoch, the lock share of the software overhead is
-    // amortized away.
-    const double overhead_scale =
-        lock_amortized
-            ? 1.0 - comm_.runtime().machine().net.rma_lock_fraction
-            : 1.0;
-    fetch_resilient(id, entry, dst, locked, overhead_scale);
-  }
-
-  if (owner == group_.rank()) {
-    ++stats_.local_gets;
-  } else {
-    ++stats_.remote_gets;
-  }
-  stats_.bytes_fetched += entry.length;
-  stats_.nominal_bytes_fetched += nominal_sample_bytes_;
-}
-
-graph::GraphSample DDStore::get(std::uint64_t id) {
-  auto& clock = comm_.clock();
-  const double t0 = clock.now();
-  const ByteBuffer bytes = get_bytes(id);
-  decode_.charge(clock, nominal_sample_bytes_);
-  auto sample = graph::GraphSample::deserialize(bytes);
-  stats_.latency.add(clock.now() - t0);
-  return sample;
-}
-
-std::vector<graph::GraphSample> DDStore::get_batch(
-    std::span<const std::uint64_t> ids) {
-  if (ids.empty()) return {};
-  // The planner paths assume one-sided access to the owners' exposed
-  // regions; a two-sided broker serves requests individually, so batched
-  // modes degenerate to the per-sample loop there.
-  if (config_.comm_mode == CommMode::TwoSided) {
-    return get_batch_per_sample(ids);
-  }
-  switch (config_.batch_fetch) {
-    case BatchFetchMode::PerSample:
-      return get_batch_per_sample(ids);
-    case BatchFetchMode::LockPerTarget:
-      return get_batch_planned(ids, /*coalesce=*/false);
-    case BatchFetchMode::Coalesced:
-      return get_batch_planned(ids, /*coalesce=*/true);
-  }
-  throw InternalError("unknown BatchFetchMode");
-}
-
-std::vector<graph::GraphSample> DDStore::get_batch_per_sample(
-    std::span<const std::uint64_t> ids) {
-  std::vector<graph::GraphSample> out(ids.size());
-  auto& clock = comm_.clock();
-  // Fetch each distinct id once (first occurrence pays the wire), decode
-  // per occurrence; fetch order is request order of first occurrences.
-  std::unordered_map<std::uint64_t, ByteBuffer> fetched;
-  fetched.reserve(ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const std::uint64_t id = ids[i];
-    const double t0 = clock.now();
-    auto it = fetched.find(id);
-    if (it == fetched.end()) {
-      it = fetched.emplace(id, get_bytes(id)).first;
-    } else {
-      ++stats_.batch_dup_hits;
-    }
-    decode_.charge(clock, nominal_sample_bytes_);
-    out[i] = graph::GraphSample::deserialize(it->second);
-    stats_.latency.add(clock.now() - t0);
-  }
-  return out;
-}
-
-std::vector<graph::GraphSample> DDStore::get_batch_planned(
-    std::span<const std::uint64_t> ids, bool coalesce) {
-  const FetchPlan plan = plan_batch_fetch(*registry_, ids);
-  std::vector<graph::GraphSample> out(ids.size());
-  auto& clock = comm_.clock();
-  stats_.batch_dup_hits += plan.duplicate_hits;
-  stats_.lock_epochs_saved +=
-      plan.unique_samples - static_cast<std::uint64_t>(plan.targets.size());
-
-  for (const TargetPlan& tp : plan.targets) {
-    if (!coalesce) {
-      // Ablation: one shared-lock epoch per distinct target; individual
-      // gets inside it with the lock overhead amortized after the first.
-      const int target = primary_target(tp.owner);
-      window_->lock(target, simmpi::LockType::Shared);
-      ++stats_.lock_epochs;
-      bool first_in_epoch = true;
-      for (const PlannedSample& s : tp.samples) {
-        const auto& entry = registry_->lookup(s.id);
-        const double t0 = clock.now();
-        ByteBuffer bytes(entry.length);
-        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/true,
-                   /*lock_amortized=*/!first_in_epoch);
-        first_in_epoch = false;
-        decode_occurrences(s, ByteSpan(bytes), clock.now() - t0, out);
-      }
-      window_->unlock(target);
-      continue;
-    }
-
-    // Coalesced: stage every merged range of this target in one vectored
-    // transfer, then verify and decode sample by sample.
-    ByteBuffer staging(tp.bytes);
-    const double t0 = clock.now();
-    const bool delivered =
-        run_coalesced_transfer(tp, MutableByteSpan(staging));
-    const double fetch_share =
-        (clock.now() - t0) / static_cast<double>(tp.samples.size());
-    bool fell_back = false;
-    for (const PlannedSample& s : tp.samples) {
-      const auto& entry = registry_->lookup(s.id);
-      const ByteSpan view(staging.data() + s.staging_offset, s.length);
-      if (delivered && payload_intact(entry, view)) {
-        if (tp.owner == group_.rank()) {
-          ++stats_.local_gets;
-        } else {
-          ++stats_.remote_gets;
-        }
-        stats_.bytes_fetched += entry.length;
-        stats_.nominal_bytes_fetched += nominal_sample_bytes_;
-        decode_occurrences(s, view, fetch_share, out);
-      } else {
-        // Degrade to the per-sample resilient path for this id only: the
-        // transfer lost the whole target (transport) or just this sample
-        // (checksum); either way retries/failover/FS-fallback still apply.
-        fell_back = true;
-        const double tf = clock.now();
-        ByteBuffer bytes(entry.length);
-        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/false);
-        decode_occurrences(s, ByteSpan(bytes), clock.now() - tf, out);
-      }
-    }
-    if (fell_back) ++stats_.coalesced_fallbacks;
-  }
-  return out;
-}
-
-bool DDStore::run_coalesced_transfer(const TargetPlan& tp,
-                                     MutableByteSpan staging) {
-  const int target = primary_target(tp.owner);
-  std::vector<simmpi::Window::GetSegment> segments;
-  segments.reserve(tp.ranges.size());
-  std::size_t pos = 0;
-  for (const PlannedRange& r : tp.ranges) {
-    segments.push_back(
-        {static_cast<std::size_t>(r.offset),
-         MutableByteSpan(staging.data() + pos,
-                         static_cast<std::size_t>(r.length))});
-    pos += static_cast<std::size_t>(r.length);
-  }
-  DDS_CHECK(pos == staging.size());
-
-  window_->lock(target, simmpi::LockType::Shared);
-  ++stats_.lock_epochs;
-  ++stats_.rma_transfers;
-  ++stats_.coalesced_transfers;
-  stats_.coalesced_segments += segments.size();
-  bool delivered = false;
-  try {
-    window_->getv(segments, target,
-                  nominal_sample_bytes_ * tp.samples.size());
-    stats_.coalesced_bytes += staging.size();
-    delivered = true;
-  } catch (const NetworkError&) {
-    // Time was charged by the window; the caller falls back per sample.
-  }
-  window_->unlock(target);
-  return delivered;
-}
-
-void DDStore::decode_occurrences(const PlannedSample& sample, ByteSpan bytes,
-                                 double fetch_share,
-                                 std::vector<graph::GraphSample>& out) {
-  auto& clock = comm_.clock();
-  for (const std::uint32_t pos : sample.positions) {
-    const double t0 = clock.now();
-    decode_.charge(clock, nominal_sample_bytes_);
-    out[pos] = graph::GraphSample::deserialize(bytes);
-    stats_.latency.add(fetch_share + (clock.now() - t0));
-  }
+const DDStoreStats& DDStore::stats() const {
+  DDStoreStats& s = stats_view_;
+  s.local_gets = metrics_.counter_value("local_gets");
+  s.remote_gets = metrics_.counter_value("remote_gets");
+  s.bytes_fetched = metrics_.counter_value("bytes_fetched");
+  s.nominal_bytes_fetched = metrics_.counter_value("nominal_bytes_fetched");
+  s.retries = metrics_.counter_value("retries");
+  s.failovers = metrics_.counter_value("failovers");
+  s.checksum_failures = metrics_.counter_value("checksum_failures");
+  s.degraded_reads = metrics_.counter_value("degraded_reads");
+  s.breaker_trips = metrics_.counter_value("breaker_trips");
+  s.lock_epochs = metrics_.counter_value("lock_epochs");
+  s.rma_transfers = metrics_.counter_value("rma_transfers");
+  s.coalesced_transfers = metrics_.counter_value("coalesced_transfers");
+  s.coalesced_segments = metrics_.counter_value("coalesced_segments");
+  s.coalesced_bytes = metrics_.counter_value("coalesced_bytes");
+  s.lock_epochs_saved = metrics_.counter_value("lock_epochs_saved");
+  s.batch_dup_hits = metrics_.counter_value("batch_dup_hits");
+  s.coalesced_fallbacks = metrics_.counter_value("coalesced_fallbacks");
+  s.cache_hits = metrics_.counter_value("cache_hits");
+  s.cache_misses = metrics_.counter_value("cache_misses");
+  s.cache_evictions = metrics_.counter_value("cache_evictions");
+  s.cache_hit_bytes = metrics_.counter_value("cache_hit_bytes");
+  s.preload_retries = metrics_.counter_value("preload_retries");
+  s.preload_seconds = metrics_.gauge_value("preload_seconds");
+  const LatencyRecorder* lat = metrics_.find_latency("sample_load_s");
+  s.latency = lat != nullptr ? *lat : LatencyRecorder{};
+  return s;
 }
 
 }  // namespace dds::core

@@ -12,9 +12,12 @@
 //   3. the Data Registry (sample -> owner/offset/length) is built
 //      collectively and shared;
 //   4. each member registers its chunk in an RMA window (MPI_Win_create).
-// After that, every sample access is an in-memory transaction: a lookup in
-// the registry followed by MPI_Win_lock(SHARED) + MPI_Get + unlock against
-// a member of the caller's own replica group (Fig. 3 of the paper).
+//
+// The store owns construction and lifetime; every read after that is
+// delegated to the composable FetchEngine (core/fetch/engine.hpp), which
+// runs the Plan / Cache / Transport / Resilience / Verify-Account stages.
+// All counters live in a per-rank MetricsRegistry; DDStoreStats is a
+// point-in-time view materialized by stats().
 //
 // In-process memory note: replica groups hold identical chunk content, so
 // ranks with the same group-rank alias one physical buffer ("twins") —
@@ -25,132 +28,11 @@
 #include <memory>
 #include <optional>
 
-#include "common/stats.hpp"
-#include "core/fetch_plan.hpp"
-#include "core/registry.hpp"
-#include "formats/reader.hpp"
-#include "simmpi/window.hpp"
+#include "common/metrics.hpp"
+#include "core/fetch/engine.hpp"
+#include "core/store_config.hpp"
 
 namespace dds::core {
-
-/// The communication framework 'f' of DS = (c, w, f).  The paper's design
-/// section considered a two-sided message-broker framework and rejected it
-/// for one-sided MPI RMA; both are implemented so the choice can be
-/// measured (bench_ablation_comm).
-enum class CommMode {
-  OneSidedRma,  ///< MPI_Win_lock(SHARED) + MPI_Get + unlock (the paper)
-  TwoSided      ///< request/response through a per-rank broker
-};
-
-/// How get_batch turns a batch of sample ids into RMA traffic.  All modes
-/// dedupe repeated ids (fetch once, decode per occurrence) and return
-/// samples in request order.
-enum class BatchFetchMode {
-  /// The paper's Fig. 3 walkthrough: one lock/get/unlock per sample, in
-  /// request order.
-  PerSample,
-  /// One shared-lock epoch per distinct target; individual gets inside the
-  /// epoch with the lock share of the software overhead amortized.
-  LockPerTarget,
-  /// Full planner path: one lock epoch AND one vectored get per distinct
-  /// target, with registry-adjacent samples merged into single ranges
-  /// (core/fetch_plan.hpp).  A transfer that fails transport or delivers
-  /// samples with bad checksums degrades to per-sample resilient fetches
-  /// for just the affected ids.
-  Coalesced,
-};
-
-/// Resilient-fetch policy: how hard DDStore tries before degrading.
-/// Retries and failovers only engage on NetworkError / checksum mismatch,
-/// which only occur when fault injection is armed — with faults off this
-/// policy adds zero work to the hot path.
-struct RetryPolicy {
-  /// Attempts per target per fetch (1 = no retry).
-  int max_attempts = 3;
-  /// First retry backoff, charged to the origin's virtual clock.
-  double backoff_base_s = 250e-6;
-  /// Geometric growth of the backoff per attempt.
-  double backoff_multiplier = 2.0;
-  /// Uniform extra fraction added to each backoff (decorrelates retries).
-  double backoff_jitter = 0.5;
-  /// Consecutive failures on one target that trip its circuit breaker.
-  int breaker_threshold = 3;
-  /// While open, the breaker skips the target for this many fetches.
-  /// Count-based (not time-based) so breaker behaviour is independent of
-  /// the queueing model's scheduling-sensitive completion times.
-  int breaker_cooldown_fetches = 64;
-  /// Fail over to the sample's twin owners in sibling replica groups.
-  bool cross_group_failover = true;
-  /// Last resort: re-read the sample from the filesystem (degraded mode).
-  bool fs_fallback = true;
-  /// Verify the registry checksum on every fetched payload.
-  bool verify_checksums = true;
-};
-
-struct DDStoreConfig {
-  /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
-  /// the paper's default).  comm.size() must be divisible by width.
-  int width = 0;
-  Placement placement = Placement::Block;
-  /// When true, every replica group charges its own preload FS reads
-  /// (as a real deployment would); when false only group 0 pays, which
-  /// keeps giant scaling benches cheap when preload time is excluded.
-  bool charge_replica_preload = true;
-  /// Batch fetch strategy (see BatchFetchMode): per-sample lock/get/unlock
-  /// (the paper), one lock epoch per target, or fully coalesced vectored
-  /// transfers.
-  BatchFetchMode batch_fetch = BatchFetchMode::PerSample;
-  /// Communication framework (one-sided RMA is the paper's choice).
-  CommMode comm_mode = CommMode::OneSidedRma;
-  /// TwoSided only: mean delay until the target's broker thread services a
-  /// queued request (it competes with the target's own training loop).
-  double broker_poll_mean_s = 300e-6;
-  /// CPU cost of decoding a fetched sample (in-memory buffer).
-  formats::DecodeCost decode = formats::DecodeCost::in_memory();
-  /// Resilience policy for the fetch path (see RetryPolicy).
-  RetryPolicy retry;
-};
-
-struct DDStoreStats {
-  std::uint64_t local_gets = 0;
-  std::uint64_t remote_gets = 0;
-  std::uint64_t bytes_fetched = 0;          ///< actual bytes
-  std::uint64_t nominal_bytes_fetched = 0;  ///< paper-scale bytes
-  /// Per-sample graph-loading latency (fetch + decode), the quantity in
-  /// the paper's Fig. 6/12 and Tables 2/3.
-  LatencyRecorder latency;
-
-  // Resilience counters (all zero unless fault injection is armed).
-  std::uint64_t retries = 0;            ///< re-attempts after a failed get
-  std::uint64_t failovers = 0;          ///< samples served by a non-primary target
-  std::uint64_t checksum_failures = 0;  ///< payloads rejected by checksum
-  std::uint64_t degraded_reads = 0;     ///< samples served via FS fallback
-  std::uint64_t breaker_trips = 0;      ///< circuit-breaker open events
-
-  // Fetch-path traffic counters (every batch mode maintains these, so the
-  // lock/coalesce ablations can report exactly what each policy issued).
-  std::uint64_t lock_epochs = 0;    ///< MPI_Win_lock/unlock pairs taken
-  std::uint64_t rma_transfers = 0;  ///< window get/getv calls issued
-
-  // Planner counters (Coalesced batches only).
-  std::uint64_t coalesced_transfers = 0;  ///< vectored gets issued
-  std::uint64_t coalesced_segments = 0;   ///< merged ranges across them
-  std::uint64_t coalesced_bytes = 0;      ///< actual bytes they moved
-  /// Lock epochs a per-sample policy would have taken minus the epochs the
-  /// batched policy actually planned (unique samples - target epochs per
-  /// batch); fallback re-fetches do not subtract from this planner metric.
-  std::uint64_t lock_epochs_saved = 0;
-  /// Duplicate ids inside batches served from the first fetch (deduped).
-  std::uint64_t batch_dup_hits = 0;
-  /// Coalesced transfers that degraded to per-sample resilient fetches
-  /// (transport failure or checksum mismatch inside the staged payload).
-  std::uint64_t coalesced_fallbacks = 0;
-
-  // Preload facts: set once at construction, preserved by reset_stats()
-  // (epoch-boundary resets must not erase what construction cost).
-  std::uint64_t preload_retries = 0;
-  double preload_seconds = 0.0;
-};
 
 class DDStore {
  public:
@@ -177,32 +59,42 @@ class DDStore {
     return owner_of(id) == group_.rank();
   }
 
-  /// Fetches the serialized bytes of one sample (RMA get or local copy).
-  ByteBuffer get_bytes(std::uint64_t id);
+  /// Fetches the serialized bytes of one sample (cache hit, RMA get, or
+  /// local copy).
+  ByteBuffer get_bytes(std::uint64_t id) { return engine_->get_bytes(id); }
 
   /// Fetches and decodes one sample; records its loading latency.
-  graph::GraphSample get(std::uint64_t id);
+  graph::GraphSample get(std::uint64_t id) { return engine_->get(id); }
 
   /// Fetches a batch (the Data Loader path of Fig. 1).  Samples come back
   /// in request order — duplicates and all — regardless of the configured
   /// BatchFetchMode; repeated ids are fetched once and decoded per
   /// occurrence.
   std::vector<graph::GraphSample> get_batch(
-      std::span<const std::uint64_t> ids);
+      std::span<const std::uint64_t> ids) {
+    return engine_->get_batch(ids);
+  }
 
   /// Collective epoch boundary over the replica group (MPI_Win_fence).
   void fence() { window_->fence(); }
 
-  const DDStoreStats& stats() const { return stats_; }
+  /// Materializes a point-in-time DDStoreStats view over the metrics
+  /// registry.  The reference stays valid for the store's lifetime but its
+  /// contents are refreshed on every call — capture by value to keep a
+  /// snapshot across further store activity.
+  const DDStoreStats& stats() const;
 
-  /// Clears per-epoch counters; preload facts survive (they describe
-  /// construction, not the epoch being reset).
-  void reset_stats() {
-    DDStoreStats fresh;
-    fresh.preload_retries = stats_.preload_retries;
-    fresh.preload_seconds = stats_.preload_seconds;
-    stats_ = fresh;
-  }
+  /// Zeroes per-epoch counters in the registry.  Construction-time preload
+  /// facts (preload_retries, preload_seconds) survive, and so do the cache
+  /// configuration *and contents* — resetting stats at an epoch boundary
+  /// must not cool a deliberately warmed cache.
+  void reset_stats() { metrics_.reset(); }
+
+  /// The per-rank metrics registry every fetch counter lives in.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The Cache stage's LRU (read-only; capacity 0 means disabled).
+  const fetch::SampleCache& sample_cache() const { return engine_->cache(); }
 
   simmpi::Comm& group() { return group_; }
   const DataRegistry& registry() const { return *registry_; }
@@ -224,55 +116,19 @@ class DDStore {
     return replica_index() * width_ + owner;
   }
 
-  void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
-                  bool lock_amortized = false);
-
-  std::vector<graph::GraphSample> get_batch_per_sample(
-      std::span<const std::uint64_t> ids);
-  std::vector<graph::GraphSample> get_batch_planned(
-      std::span<const std::uint64_t> ids, bool coalesce);
-
-  /// Executes one target's coalesced transfer: lock, vectored get, unlock.
-  /// Returns false when the transport failed (caller falls back to
-  /// per-sample resilient fetches for this target's ids).
-  bool run_coalesced_transfer(const TargetPlan& tp, MutableByteSpan staging);
-
-  /// Decodes `bytes` once per occurrence listed in `sample`, charging the
-  /// decode cost and recording `fetch_share + decode` latency each time.
-  void decode_occurrences(const PlannedSample& sample, ByteSpan bytes,
-                          double fetch_share,
-                          std::vector<graph::GraphSample>& out);
-
-  /// The resilient one-sided path: retry with backoff per target, trip
-  /// circuit breakers, fail over across replica groups, and finally fall
-  /// back to the filesystem.  Throws IoError if every route is exhausted.
-  void fetch_resilient(std::uint64_t id, const DataRegistry::Entry& entry,
-                       MutableByteSpan dst, bool locked, double overhead_scale);
-
-  /// True when `dst` matches `entry`'s recorded checksum (or verification
-  /// is off / no checksum recorded).  Counts a failure when it lies.
-  bool payload_intact(const DataRegistry::Entry& entry, ByteSpan dst);
-
   simmpi::Comm comm_;    ///< the full training communicator
   simmpi::Comm group_;   ///< this rank's replica group
   int width_;
   DDStoreConfig config_;
   std::uint64_t nominal_sample_bytes_;
-  formats::DecodeCost decode_;
-  const formats::SampleReader* reader_;  ///< for degraded-mode FS reads
-  fs::FsClient* fs_client_;
 
   std::shared_ptr<const ByteBuffer> chunk_;  ///< aliased across twin ranks
   std::shared_ptr<const DataRegistry> registry_;
   std::optional<simmpi::Window> window_;  ///< over comm_: all replicas addressable
 
-  /// Per-target (comm rank) circuit-breaker state, local to this rank.
-  struct TargetHealth {
-    int consecutive_failures = 0;
-    int skip_remaining = 0;  ///< breaker open: fetches left to skip
-  };
-  std::vector<TargetHealth> health_;
-  DDStoreStats stats_;
+  MetricsRegistry metrics_;
+  std::optional<fetch::FetchEngine> engine_;
+  mutable DDStoreStats stats_view_;
 };
 
 }  // namespace dds::core

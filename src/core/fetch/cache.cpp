@@ -1,0 +1,43 @@
+#include "core/fetch/cache.hpp"
+
+namespace dds::core::fetch {
+
+const ByteBuffer* SampleCache::lookup(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().bytes;
+}
+
+std::size_t SampleCache::insert(std::uint64_t id, ByteSpan bytes) {
+  if (bytes.size() > capacity_) return 0;
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    size_ -= it->second->bytes.size();
+    it->second->bytes.assign(bytes.begin(), bytes.end());
+    size_ += bytes.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{id, ByteBuffer(bytes.begin(), bytes.end())});
+    index_.emplace(id, lru_.begin());
+    size_ += bytes.size();
+  }
+  std::size_t evicted = 0;
+  while (size_ > capacity_) {
+    const Entry& victim = lru_.back();
+    size_ -= victim.bytes.size();
+    index_.erase(victim.id);
+    lru_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::vector<std::uint64_t> SampleCache::ids_mru_to_lru() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.id);
+  return out;
+}
+
+}  // namespace dds::core::fetch

@@ -1,0 +1,101 @@
+// FetchContext: the state every fetch stage shares.
+//
+// The FetchEngine (core/fetch/engine.hpp) is built from explicit stages —
+// Plan (core/fetch_plan.hpp), Cache, Transport, Resilience, Verify/Account
+// — each of which sees the same immutable context: the communicators, the
+// RMA window, the registry, the policy knobs, and the FetchMetrics bundle
+// of registry-backed counters.  Stages never talk to each other through
+// hidden globals; everything flows through this struct, which is what
+// makes alternative stages (a second cache tier, a different transport)
+// pluggable without touching the store.
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.hpp"
+#include "core/store_config.hpp"
+#include "fs/parallel_fs.hpp"
+#include "simmpi/window.hpp"
+
+namespace dds::core::fetch {
+
+/// References into the store's MetricsRegistry, one per fetch-path metric,
+/// registered in a fixed order at engine construction.  Every rank
+/// registers the same names in the same order, so cross-rank elementwise
+/// sums of counter snapshots line up (see MetricsRegistry's contract).
+struct FetchMetrics {
+  explicit FetchMetrics(MetricsRegistry& registry)
+      : local_gets(registry.counter("local_gets")),
+        remote_gets(registry.counter("remote_gets")),
+        bytes_fetched(registry.counter("bytes_fetched")),
+        nominal_bytes_fetched(registry.counter("nominal_bytes_fetched")),
+        retries(registry.counter("retries")),
+        failovers(registry.counter("failovers")),
+        checksum_failures(registry.counter("checksum_failures")),
+        degraded_reads(registry.counter("degraded_reads")),
+        breaker_trips(registry.counter("breaker_trips")),
+        lock_epochs(registry.counter("lock_epochs")),
+        rma_transfers(registry.counter("rma_transfers")),
+        coalesced_transfers(registry.counter("coalesced_transfers")),
+        coalesced_segments(registry.counter("coalesced_segments")),
+        coalesced_bytes(registry.counter("coalesced_bytes")),
+        lock_epochs_saved(registry.counter("lock_epochs_saved")),
+        batch_dup_hits(registry.counter("batch_dup_hits")),
+        coalesced_fallbacks(registry.counter("coalesced_fallbacks")),
+        cache_hits(registry.counter("cache_hits")),
+        cache_misses(registry.counter("cache_misses")),
+        cache_evictions(registry.counter("cache_evictions")),
+        cache_hit_bytes(registry.counter("cache_hit_bytes")),
+        latency(registry.latency("sample_load_s")) {}
+
+  MetricsRegistry::Counter& local_gets;
+  MetricsRegistry::Counter& remote_gets;
+  MetricsRegistry::Counter& bytes_fetched;
+  MetricsRegistry::Counter& nominal_bytes_fetched;
+  MetricsRegistry::Counter& retries;
+  MetricsRegistry::Counter& failovers;
+  MetricsRegistry::Counter& checksum_failures;
+  MetricsRegistry::Counter& degraded_reads;
+  MetricsRegistry::Counter& breaker_trips;
+  MetricsRegistry::Counter& lock_epochs;
+  MetricsRegistry::Counter& rma_transfers;
+  MetricsRegistry::Counter& coalesced_transfers;
+  MetricsRegistry::Counter& coalesced_segments;
+  MetricsRegistry::Counter& coalesced_bytes;
+  MetricsRegistry::Counter& lock_epochs_saved;
+  MetricsRegistry::Counter& batch_dup_hits;
+  MetricsRegistry::Counter& coalesced_fallbacks;
+  MetricsRegistry::Counter& cache_hits;
+  MetricsRegistry::Counter& cache_misses;
+  MetricsRegistry::Counter& cache_evictions;
+  MetricsRegistry::Counter& cache_hit_bytes;
+  LatencyRecorder& latency;
+};
+
+/// Everything a fetch stage may consult.  All pointers are non-owning and
+/// outlive the engine (they point into the DDStore that built it).
+struct FetchContext {
+  simmpi::Comm* comm = nullptr;   ///< the full training communicator
+  simmpi::Comm* group = nullptr;  ///< this rank's replica group
+  simmpi::Window* window = nullptr;
+  const DataRegistry* registry = nullptr;
+  const DDStoreConfig* config = nullptr;
+  const formats::SampleReader* reader = nullptr;  ///< degraded-mode FS reads
+  fs::FsClient* fs_client = nullptr;
+  FetchMetrics* metrics = nullptr;
+  int width = 1;
+  std::uint64_t nominal_sample_bytes = 0;
+
+  int replica_index() const { return comm->rank() / width; }
+  int num_replicas() const { return comm->size() / width; }
+
+  /// Comm rank of the member of *this rank's* replica group that owns
+  /// group-rank `owner`'s chunk — the first target every fetch tries.
+  int primary_target(int owner) const {
+    return replica_index() * width + owner;
+  }
+
+  model::VirtualClock& clock() const { return comm->clock(); }
+};
+
+}  // namespace dds::core::fetch

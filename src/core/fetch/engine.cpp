@@ -1,0 +1,291 @@
+#include "core/fetch/engine.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace dds::core::fetch {
+
+FetchEngine::FetchEngine(simmpi::Comm& comm, simmpi::Comm& group,
+                         simmpi::Window& window, const DataRegistry& registry,
+                         const DDStoreConfig& config,
+                         const formats::SampleReader& reader,
+                         fs::FsClient& fs_client, int width,
+                         std::uint64_t nominal_sample_bytes,
+                         MetricsRegistry& metrics)
+    : metrics_(metrics),
+      ctx_{&comm, &group, &window, &registry, &config, &reader, &fs_client,
+           &metrics_, width, nominal_sample_bytes},
+      decode_(config.decode),
+      cache_(config.cache_capacity_bytes),
+      transport_(ctx_),
+      resilience_(ctx_, transport_) {}
+
+void FetchEngine::charge_cache_hit() {
+  // A hit is modeled as constant lookup service plus one memcpy of the
+  // nominal payload at CPU memory bandwidth — strictly cheaper than even a
+  // local RMA get, which pays rma_local_overhead_s per transfer.
+  const auto& cpu = ctx_.comm->runtime().machine().cpu;
+  ctx_.clock().advance(cpu.cache_hit_service_s +
+                       static_cast<double>(ctx_.nominal_sample_bytes) /
+                           cpu.memcpy_bandwidth_Bps);
+}
+
+void FetchEngine::admit(std::uint64_t id, ByteSpan bytes) {
+  if (!cache_.enabled()) return;
+  metrics_.cache_evictions += cache_.insert(id, bytes);
+}
+
+ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
+  const auto& entry = ctx_.registry->lookup(id);
+  if (cache_.enabled()) {
+    // Cache stage first: a hit never takes a lock epoch, consumes no retry
+    // budget, and touches no target's breaker (see DESIGN.md invariant).
+    if (const ByteBuffer* hit = cache_.lookup(id)) {
+      ++metrics_.cache_hits;
+      metrics_.cache_hit_bytes += entry.length;
+      charge_cache_hit();
+      return *hit;
+    }
+    ++metrics_.cache_misses;
+  }
+  ByteBuffer out(entry.length);
+  fetch_into(id, MutableByteSpan(out), /*locked=*/false);
+  admit(id, ByteSpan(out));
+  return out;
+}
+
+void FetchEngine::fetch_into(std::uint64_t id, MutableByteSpan dst,
+                             bool locked, bool lock_amortized) {
+  const auto& entry = ctx_.registry->lookup(id);
+  const int owner = static_cast<int>(entry.owner);
+  DDS_CHECK(dst.size() == entry.length);
+  auto& comm = *ctx_.comm;
+
+  if (ctx_.config->comm_mode == CommMode::TwoSided &&
+      owner != ctx_.group->rank()) {
+    // Message-broker alternative: request/response through the owner's
+    // broker.  The data plane still reads the owner's exposed region (the
+    // broker would serve from the same chunk); timing goes through the
+    // two-sided model including the broker service delay.
+    const auto* region = static_cast<const std::byte*>(
+        ctx_.window->region_data(ctx_.primary_target(owner)));
+    std::memcpy(dst.data(), region + entry.offset, dst.size());
+    auto& rt = comm.runtime();
+    const double poll =
+        comm.rng().exponential(1.0 / ctx_.config->broker_poll_mean_s);
+    const double done = rt.network().two_sided_fetch_time(
+        comm.world_rank(), ctx_.group->world_rank_of(owner),
+        ctx_.nominal_sample_bytes, comm.clock().now(), poll);
+    comm.clock().advance_to(done);
+  } else {
+    // One-sided RMA (the paper's design): lock, get, unlock, hardened with
+    // retry/failover/checksum verification.  When the caller holds a
+    // batch-wide lock epoch, the lock share of the software overhead is
+    // amortized away.
+    const double overhead_scale =
+        lock_amortized ? 1.0 - comm.runtime().machine().net.rma_lock_fraction
+                       : 1.0;
+    resilience_.fetch(id, entry, dst, locked, overhead_scale);
+  }
+
+  if (owner == ctx_.group->rank()) {
+    ++metrics_.local_gets;
+  } else {
+    ++metrics_.remote_gets;
+  }
+  metrics_.bytes_fetched += entry.length;
+  metrics_.nominal_bytes_fetched += ctx_.nominal_sample_bytes;
+}
+
+graph::GraphSample FetchEngine::get(std::uint64_t id) {
+  auto& clock = ctx_.clock();
+  const double t0 = clock.now();
+  const ByteBuffer bytes = get_bytes(id);
+  decode_.charge(clock, ctx_.nominal_sample_bytes);
+  auto sample = graph::GraphSample::deserialize(bytes);
+  metrics_.latency.add(clock.now() - t0);
+  return sample;
+}
+
+std::vector<graph::GraphSample> FetchEngine::get_batch(
+    std::span<const std::uint64_t> ids) {
+  if (ids.empty()) return {};
+  // The planner paths assume one-sided access to the owners' exposed
+  // regions; a two-sided broker serves requests individually, so batched
+  // modes degenerate to the per-sample loop there.
+  if (ctx_.config->comm_mode == CommMode::TwoSided) {
+    return get_batch_per_sample(ids);
+  }
+  switch (ctx_.config->batch_fetch) {
+    case BatchFetchMode::PerSample:
+      return get_batch_per_sample(ids);
+    case BatchFetchMode::LockPerTarget:
+      return get_batch_planned(ids, /*coalesce=*/false);
+    case BatchFetchMode::Coalesced:
+      return get_batch_planned(ids, /*coalesce=*/true);
+  }
+  throw InternalError("unknown BatchFetchMode");
+}
+
+std::vector<graph::GraphSample> FetchEngine::get_batch_per_sample(
+    std::span<const std::uint64_t> ids) {
+  std::vector<graph::GraphSample> out(ids.size());
+  auto& clock = ctx_.clock();
+  // Fetch each distinct id once (first occurrence pays the wire — or the
+  // cache), decode per occurrence; fetch order is request order of first
+  // occurrences.
+  std::unordered_map<std::uint64_t, ByteBuffer> fetched;
+  fetched.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t id = ids[i];
+    const double t0 = clock.now();
+    auto it = fetched.find(id);
+    if (it == fetched.end()) {
+      it = fetched.emplace(id, get_bytes(id)).first;
+    } else {
+      ++metrics_.batch_dup_hits;
+    }
+    decode_.charge(clock, ctx_.nominal_sample_bytes);
+    out[i] = graph::GraphSample::deserialize(it->second);
+    metrics_.latency.add(clock.now() - t0);
+  }
+  return out;
+}
+
+void FetchEngine::serve_cache_hit(const PlannedSample& sample,
+                                  std::vector<graph::GraphSample>& out) {
+  const ByteBuffer* bytes = cache_.lookup(sample.id);
+  DDS_CHECK(bytes != nullptr);
+  ++metrics_.cache_hits;
+  metrics_.cache_hit_bytes += sample.length;
+  auto& clock = ctx_.clock();
+  const double t0 = clock.now();
+  charge_cache_hit();
+  decode_occurrences(sample, ByteSpan(*bytes), clock.now() - t0, out);
+}
+
+std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
+    std::span<const std::uint64_t> ids, bool coalesce) {
+  // Plan stage, with the Cache stage as its residency predicate: ids
+  // already resident never enter a transfer plan.  `contains` does not
+  // promote — the authoritative lookup in serve_cache_hit does.
+  std::vector<PlannedSample> cached;
+  const FetchPlan plan =
+      cache_.enabled()
+          ? plan_batch_fetch(
+                *ctx_.registry, ids,
+                [this](std::uint64_t id) { return cache_.contains(id); },
+                &cached)
+          : plan_batch_fetch(*ctx_.registry, ids);
+  std::vector<graph::GraphSample> out(ids.size());
+  auto& clock = ctx_.clock();
+  metrics_.batch_dup_hits += plan.duplicate_hits;
+  metrics_.lock_epochs_saved +=
+      plan.unique_samples - static_cast<std::uint64_t>(plan.targets.size());
+  if (cache_.enabled()) metrics_.cache_misses += plan.unique_samples;
+
+  // Cache stage: serve every resident sample before any lock epoch opens.
+  for (const PlannedSample& s : cached) serve_cache_hit(s, out);
+
+  for (const TargetPlan& tp : plan.targets) {
+    if (!coalesce) {
+      // Ablation: one shared-lock epoch per distinct target; individual
+      // gets inside it with the lock overhead amortized after the first.
+      const int target = ctx_.primary_target(tp.owner);
+      transport_.lock(target);
+      bool first_in_epoch = true;
+      for (const PlannedSample& s : tp.samples) {
+        const double t0 = clock.now();
+        ByteBuffer bytes(static_cast<std::size_t>(s.length));
+        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/true,
+                   /*lock_amortized=*/!first_in_epoch);
+        first_in_epoch = false;
+        admit(s.id, ByteSpan(bytes));
+        decode_occurrences(s, ByteSpan(bytes), clock.now() - t0, out);
+      }
+      transport_.unlock(target);
+      continue;
+    }
+
+    // Coalesced: stage every merged range of this target in one vectored
+    // transfer, then verify and decode sample by sample.
+    ByteBuffer staging(tp.bytes);
+    const double t0 = clock.now();
+    const bool delivered = run_coalesced_transfer(tp, MutableByteSpan(staging));
+    const double fetch_share =
+        (clock.now() - t0) / static_cast<double>(tp.samples.size());
+    bool fell_back = false;
+    for (const PlannedSample& s : tp.samples) {
+      const auto& entry = ctx_.registry->lookup(s.id);
+      const ByteSpan view(staging.data() + s.staging_offset, s.length);
+      if (delivered && resilience_.payload_intact(entry, view)) {
+        if (tp.owner == ctx_.group->rank()) {
+          ++metrics_.local_gets;
+        } else {
+          ++metrics_.remote_gets;
+        }
+        metrics_.bytes_fetched += entry.length;
+        metrics_.nominal_bytes_fetched += ctx_.nominal_sample_bytes;
+        admit(s.id, view);
+        decode_occurrences(s, view, fetch_share, out);
+      } else {
+        // Degrade to the per-sample resilient path for this id only: the
+        // transfer lost the whole target (transport) or just this sample
+        // (checksum); either way retries/failover/FS-fallback still apply.
+        fell_back = true;
+        const double tf = clock.now();
+        ByteBuffer bytes(entry.length);
+        fetch_into(s.id, MutableByteSpan(bytes), /*locked=*/false);
+        admit(s.id, ByteSpan(bytes));
+        decode_occurrences(s, ByteSpan(bytes), clock.now() - tf, out);
+      }
+    }
+    if (fell_back) ++metrics_.coalesced_fallbacks;
+  }
+  return out;
+}
+
+bool FetchEngine::run_coalesced_transfer(const TargetPlan& tp,
+                                         MutableByteSpan staging) {
+  const int target = ctx_.primary_target(tp.owner);
+  std::vector<simmpi::Window::GetSegment> segments;
+  segments.reserve(tp.ranges.size());
+  std::size_t pos = 0;
+  for (const PlannedRange& r : tp.ranges) {
+    segments.push_back(
+        {static_cast<std::size_t>(r.offset),
+         MutableByteSpan(staging.data() + pos,
+                         static_cast<std::size_t>(r.length))});
+    pos += static_cast<std::size_t>(r.length);
+  }
+  DDS_CHECK(pos == staging.size());
+
+  transport_.lock(target);
+  ++metrics_.coalesced_transfers;
+  metrics_.coalesced_segments += segments.size();
+  bool delivered = false;
+  try {
+    transport_.getv(segments, target,
+                    ctx_.nominal_sample_bytes * tp.samples.size());
+    metrics_.coalesced_bytes += staging.size();
+    delivered = true;
+  } catch (const NetworkError&) {
+    // Time was charged by the transport; the caller falls back per sample.
+  }
+  transport_.unlock(target);
+  return delivered;
+}
+
+void FetchEngine::decode_occurrences(const PlannedSample& sample,
+                                     ByteSpan bytes, double fetch_share,
+                                     std::vector<graph::GraphSample>& out) {
+  auto& clock = ctx_.clock();
+  for (const std::uint32_t pos : sample.positions) {
+    const double t0 = clock.now();
+    decode_.charge(clock, ctx_.nominal_sample_bytes);
+    out[pos] = graph::GraphSample::deserialize(bytes);
+    metrics_.latency.add(fetch_share + (clock.now() - t0));
+  }
+}
+
+}  // namespace dds::core::fetch

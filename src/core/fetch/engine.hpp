@@ -1,0 +1,101 @@
+// FetchEngine: the composable DDStore read path.
+//
+// One engine per rank, built from explicit stages over a shared
+// FetchContext (see DESIGN.md for the stage diagram):
+//
+//   Plan        core/fetch_plan.hpp — dedupe, group by owner, merge ranges
+//   Cache       core/fetch/cache.hpp — per-rank hot-sample LRU, served
+//               before any lock epoch
+//   Transport   core/fetch/transport.hpp — per-sample / lock-per-target /
+//               coalesced getv window traffic + the fault-injection seam
+//   Resilience  core/fetch/resilience.hpp — retry, breaker, failover,
+//               degraded FS read, wrapping the transport
+//   Verify/     checksum validation + the local/remote/bytes/latency
+//   Account     accounting every caller observes through the registry
+//
+// The engine owns the per-request control flow that used to live inside
+// ddstore.cpp; the store keeps construction (preload, registry, window)
+// and delegates every read to the engine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/fetch/cache.hpp"
+#include "core/fetch/context.hpp"
+#include "core/fetch/resilience.hpp"
+#include "core/fetch/transport.hpp"
+#include "core/fetch_plan.hpp"
+
+namespace dds::core::fetch {
+
+class FetchEngine {
+ public:
+  /// All references must outlive the engine (they belong to the DDStore
+  /// that builds it).  Registers the fetch metrics in `metrics` — every
+  /// rank constructs its engine the same way, so registry layouts match
+  /// across ranks.
+  FetchEngine(simmpi::Comm& comm, simmpi::Comm& group, simmpi::Window& window,
+              const DataRegistry& registry, const DDStoreConfig& config,
+              const formats::SampleReader& reader, fs::FsClient& fs_client,
+              int width, std::uint64_t nominal_sample_bytes,
+              MetricsRegistry& metrics);
+
+  FetchEngine(const FetchEngine&) = delete;
+  FetchEngine& operator=(const FetchEngine&) = delete;
+
+  /// Fetches the serialized bytes of one sample (cache hit, RMA get, or
+  /// local copy).
+  ByteBuffer get_bytes(std::uint64_t id);
+
+  /// Fetches and decodes one sample; records its loading latency.
+  graph::GraphSample get(std::uint64_t id);
+
+  /// Fetches a batch in request order — duplicates and all — under the
+  /// configured BatchFetchMode; repeated ids are fetched once and decoded
+  /// per occurrence.
+  std::vector<graph::GraphSample> get_batch(std::span<const std::uint64_t> ids);
+
+  const SampleCache& cache() const { return cache_; }
+
+ private:
+  void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
+                  bool lock_amortized = false);
+
+  std::vector<graph::GraphSample> get_batch_per_sample(
+      std::span<const std::uint64_t> ids);
+  std::vector<graph::GraphSample> get_batch_planned(
+      std::span<const std::uint64_t> ids, bool coalesce);
+
+  /// Executes one target's coalesced transfer: lock, vectored get, unlock.
+  /// Returns false when the transport failed (caller falls back to
+  /// per-sample resilient fetches for this target's ids).
+  bool run_coalesced_transfer(const TargetPlan& tp, MutableByteSpan staging);
+
+  /// Decodes `bytes` once per occurrence listed in `sample`, charging the
+  /// decode cost and recording `fetch_share + decode` latency each time.
+  void decode_occurrences(const PlannedSample& sample, ByteSpan bytes,
+                          double fetch_share,
+                          std::vector<graph::GraphSample>& out);
+
+  /// Serves one planned sample from the cache: charges the modeled hit
+  /// cost, counts the hit, and decodes every occurrence.
+  void serve_cache_hit(const PlannedSample& sample,
+                       std::vector<graph::GraphSample>& out);
+
+  /// Charges the modeled cost of a cache hit (lookup service + memcpy of
+  /// the nominal payload at CPU memcpy bandwidth).
+  void charge_cache_hit();
+
+  /// Admits verified payload bytes into the cache (no-op when disabled).
+  void admit(std::uint64_t id, ByteSpan bytes);
+
+  FetchMetrics metrics_;
+  FetchContext ctx_;
+  formats::DecodeCost decode_;
+  SampleCache cache_;
+  RmaTransport transport_;
+  ResilienceStage resilience_;
+};
+
+}  // namespace dds::core::fetch

@@ -1,0 +1,97 @@
+#include "core/fetch/resilience.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/checksum.hpp"
+
+namespace dds::core::fetch {
+
+bool ResilienceStage::payload_intact(const DataRegistry::Entry& entry,
+                                     ByteSpan dst) {
+  if (!ctx_->config->retry.verify_checksums || entry.checksum == 0) {
+    return true;
+  }
+  if (checksum64(dst) == entry.checksum) return true;
+  ++ctx_->metrics->checksum_failures;
+  return false;
+}
+
+void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
+                            MutableByteSpan dst, bool locked,
+                            double overhead_scale) {
+  const RetryPolicy& rp = ctx_->config->retry;
+  FetchMetrics& m = *ctx_->metrics;
+  const int owner = static_cast<int>(entry.owner);
+  const int primary = ctx_->primary_target(owner);
+  const int replicas = ctx_->num_replicas();
+  const int hops = rp.cross_group_failover ? replicas : 1;
+
+  for (int hop = 0; hop < hops; ++hop) {
+    // Candidate order: own group first, then sibling groups' twins in a
+    // deterministic rotation starting from this rank's replica index.
+    const int target =
+        ((ctx_->replica_index() + hop) % replicas) * ctx_->width + owner;
+    TargetHealth& health = health_[static_cast<std::size_t>(target)];
+    if (health.skip_remaining > 0) {
+      // Breaker open: don't hammer a target that just failed repeatedly.
+      --health.skip_remaining;
+      continue;
+    }
+    // Inside a batch lock epoch the primary is already locked by the
+    // caller; failover targets always take their own shared lock.
+    const bool own_lock = !(locked && target == primary);
+    for (int attempt = 1; attempt <= rp.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        double delay = rp.backoff_base_s;
+        for (int i = 2; i < attempt; ++i) delay *= rp.backoff_multiplier;
+        delay *= 1.0 + rp.backoff_jitter * ctx_->comm->rng().uniform();
+        ctx_->clock().advance(delay);
+        ++m.retries;
+      }
+      bool delivered = false;
+      if (own_lock) transport_->lock(target);
+      try {
+        transport_->get(dst, target, entry.offset,
+                        ctx_->nominal_sample_bytes, overhead_scale);
+        delivered = true;
+      } catch (const NetworkError&) {
+        // Transport-level failure: the time was already charged; fall
+        // through to the retry/failover bookkeeping.
+      }
+      if (own_lock) transport_->unlock(target);
+      if (delivered && payload_intact(entry, ByteSpan(dst))) {
+        health.consecutive_failures = 0;
+        if (target != primary) ++m.failovers;
+        return;
+      }
+      ++health.consecutive_failures;
+      if (health.consecutive_failures >= rp.breaker_threshold) {
+        health.consecutive_failures = 0;
+        health.skip_remaining = rp.breaker_cooldown_fetches;
+        ++m.breaker_trips;
+        break;  // give up on this target, move to the next candidate
+      }
+    }
+  }
+
+  if (rp.fs_fallback) {
+    // Degraded mode: every in-memory route is exhausted; re-read the
+    // sample from the parallel filesystem through the format plugin.
+    const ByteBuffer bytes = ctx_->reader->read_bytes(id, *ctx_->fs_client);
+    if (bytes.size() != entry.length ||
+        (rp.verify_checksums && entry.checksum != 0 &&
+         checksum64(ByteSpan(bytes)) != entry.checksum)) {
+      throw DataError("FS fallback read of sample " + std::to_string(id) +
+                      " disagrees with the registry");
+    }
+    std::memcpy(dst.data(), bytes.data(), bytes.size());
+    ++m.degraded_reads;
+    return;
+  }
+  throw IoError("sample " + std::to_string(id) +
+                " unreachable: every replica target failed and FS fallback "
+                "is disabled");
+}
+
+}  // namespace dds::core::fetch

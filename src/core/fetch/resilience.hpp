@@ -1,0 +1,54 @@
+// Resilience stage: retry, circuit breakers, cross-group failover, and the
+// degraded-mode filesystem fallback, wrapped around the Transport stage.
+//
+// The stage wraps any transport the engine points it at: it decides *which*
+// target to ask and *how often*, and delegates the actual wire work (and
+// the injected chaos) to RmaTransport.  With fault injection off, none of
+// this machinery fires — a fetch is one transport get.
+//
+// Stage-ordering invariant (see DESIGN.md): the Cache stage runs before
+// this one, so cache hits never consume retry budget, never count against a
+// target's breaker, and never reach the filesystem fallback.
+#pragma once
+
+#include <vector>
+
+#include "core/fetch/context.hpp"
+#include "core/fetch/transport.hpp"
+
+namespace dds::core::fetch {
+
+class ResilienceStage {
+ public:
+  ResilienceStage(const FetchContext& ctx, RmaTransport& transport)
+      : ctx_(&ctx),
+        transport_(&transport),
+        health_(static_cast<std::size_t>(ctx.comm->size())) {}
+
+  /// Fetches one sample's bytes with the full policy: retry with backoff
+  /// per target, trip circuit breakers, fail over across replica groups,
+  /// and finally fall back to the filesystem.  `locked` means the caller
+  /// already holds a batch-wide lock epoch on the sample's primary target;
+  /// `overhead_scale` discounts the per-get software overhead inside such
+  /// an epoch.  Throws IoError if every route is exhausted.
+  void fetch(std::uint64_t id, const DataRegistry::Entry& entry,
+             MutableByteSpan dst, bool locked, double overhead_scale);
+
+  /// Verify stage helper: true when `dst` matches `entry`'s recorded
+  /// checksum (or verification is off / no checksum recorded).  Counts a
+  /// checksum failure when it lies.
+  bool payload_intact(const DataRegistry::Entry& entry, ByteSpan dst);
+
+ private:
+  /// Per-target (comm rank) circuit-breaker state, local to this rank.
+  struct TargetHealth {
+    int consecutive_failures = 0;
+    int skip_remaining = 0;  ///< breaker open: fetches left to skip
+  };
+
+  const FetchContext* ctx_;
+  RmaTransport* transport_;
+  std::vector<TargetHealth> health_;
+};
+
+}  // namespace dds::core::fetch

@@ -1,0 +1,92 @@
+#include "core/fetch/transport.hpp"
+
+#include <string>
+
+namespace dds::core::fetch {
+
+void RmaTransport::lock(int target) {
+  ctx_->window->lock(target, simmpi::LockType::Shared);
+  ++ctx_->metrics->lock_epochs;
+}
+
+void RmaTransport::unlock(int target) { ctx_->window->unlock(target); }
+
+bool RmaTransport::resolve_fault(int target, double overhead_scale,
+                                 const char* what) {
+  auto& rt = ctx_->comm->runtime();
+  auto* inj = rt.fault_injector();
+  const int origin_world = ctx_->comm->world_rank();
+  const int target_world = ctx_->comm->world_rank_of(target);
+  if (inj == nullptr || origin_world == target_world) return false;
+
+  auto& clock = ctx_->clock();
+  if (inj->target_dead(target_world, clock.now())) {
+    // A dead target never answers: charge the origin the cost of a small
+    // probe (the rendezvous that times out) and report the failure.
+    const double failed = rt.network().rma_get_time(
+        origin_world, target_world, 64, clock.now(), overhead_scale);
+    clock.advance_to(failed);
+    throw NetworkError(std::string(what) + " failed: target rank " +
+                       std::to_string(target_world) + " is dead");
+  }
+  switch (inj->rma_outcome(origin_world)) {
+    case faults::GetOutcome::Ok:
+      return false;
+    case faults::GetOutcome::Fail: {
+      const double failed = rt.network().rma_get_time(
+          origin_world, target_world, 64, clock.now(), overhead_scale);
+      clock.advance_to(failed);
+      throw NetworkError(std::string(what) +
+                         " failed: transient transport fault from " +
+                         std::to_string(origin_world) + " to " +
+                         std::to_string(target_world));
+    }
+    case faults::GetOutcome::Corrupt:
+      return true;
+  }
+  return false;
+}
+
+void RmaTransport::get(MutableByteSpan dst, int target, std::size_t offset,
+                       std::uint64_t charge_bytes, double overhead_scale) {
+  ++ctx_->metrics->rma_transfers;
+  const bool corrupt = resolve_fault(target, overhead_scale, "RMA get");
+  ctx_->window->get(dst, target, offset, charge_bytes, overhead_scale);
+  if (corrupt && !dst.empty()) {
+    // Delivered, but damaged in flight: the real bytes landed, then one
+    // flips in the *destination* buffer only.  The exposed region stays
+    // intact, so a retry (or the registry checksum) can genuinely recover
+    // the true payload.
+    auto* inj = ctx_->comm->runtime().fault_injector();
+    dst[inj->corrupt_byte(ctx_->comm->world_rank(), dst.size())] ^=
+        std::byte{0xFF};
+  }
+}
+
+void RmaTransport::getv(std::span<const simmpi::Window::GetSegment> segments,
+                        int target, std::uint64_t charge_bytes) {
+  ++ctx_->metrics->rma_transfers;
+  const bool corrupt =
+      resolve_fault(target, /*overhead_scale=*/1.0, "vectored RMA get");
+  ctx_->window->getv(segments, target, charge_bytes);
+  if (corrupt) {
+    std::uint64_t total = 0;
+    for (const auto& seg : segments) total += seg.dst.size();
+    if (total == 0) return;
+    // One byte somewhere in the concatenated payload was damaged in
+    // flight; only this transfer observed it, so per-sample checksum
+    // verification downstream can recover.
+    auto* inj = ctx_->comm->runtime().fault_injector();
+    std::size_t hit = inj->corrupt_byte(ctx_->comm->world_rank(),
+                                        static_cast<std::size_t>(total));
+    for (const auto& seg : segments) {
+      if (hit < seg.dst.size()) {
+        seg.dst[hit] ^= std::byte{0xFF};
+        break;
+      }
+      hit -= seg.dst.size();
+    }
+  }
+}
+
+}  // namespace dds::core::fetch

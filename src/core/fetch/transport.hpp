@@ -1,0 +1,60 @@
+// Transport stage: every window access of the fetch path, and the fault
+// injection seam.
+//
+// All lock epochs and (vectored) gets the engine issues go through this
+// stage, which is also where armed fault injection decides each transfer's
+// fate — the simmpi Window itself stays a faithful data mover.  Keeping
+// injection at the transport seam means any alternative transport slotted
+// into the engine inherits the same chaos semantics for free, and the
+// window/collective layers stay testable without fault plumbing.
+//
+// Injection semantics (identical to the PR-1 window-level behaviour, so
+// fault-injection tests pass byte-identical through the new engine):
+//  * faults apply only to remote transfers (origin != target world rank);
+//  * a dead target charges a 64-byte probe (the rendezvous that times out)
+//    and throws NetworkError — no RNG draw consumed;
+//  * otherwise exactly one outcome draw per transfer: Fail charges the same
+//    probe and throws; Corrupt performs the real transfer then flips one
+//    byte of the destination (for a vectored get, one byte somewhere in the
+//    concatenated payload), leaving the exposed region intact so a retry or
+//    the registry checksum can recover the true bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/fetch/context.hpp"
+
+namespace dds::core::fetch {
+
+class RmaTransport {
+ public:
+  explicit RmaTransport(const FetchContext& ctx) : ctx_(&ctx) {}
+
+  /// Begins a shared-lock epoch on `target` (a comm rank); counted in
+  /// lock_epochs.
+  void lock(int target);
+  void unlock(int target);
+
+  /// One plain get inside an active lock epoch on `target`; counted in
+  /// rma_transfers.  Throws NetworkError on an injected transport failure
+  /// (the probe cost is already charged).
+  void get(MutableByteSpan dst, int target, std::size_t offset,
+           std::uint64_t charge_bytes, double overhead_scale);
+
+  /// One vectored get inside an active lock epoch (the Coalesced mode's
+  /// single transaction per target); counted in rma_transfers.
+  void getv(std::span<const simmpi::Window::GetSegment> segments, int target,
+            std::uint64_t charge_bytes);
+
+ private:
+  /// Resolves the injected fate of one remote transfer: returns true when
+  /// the payload must be corrupted after the real transfer, false for a
+  /// clean delivery, and throws (after charging the failed probe) when the
+  /// transfer dies.
+  bool resolve_fault(int target, double overhead_scale, const char* what);
+
+  const FetchContext* ctx_;
+};
+
+}  // namespace dds::core::fetch

@@ -6,6 +6,13 @@ namespace dds::core {
 
 FetchPlan plan_batch_fetch(const DataRegistry& registry,
                            std::span<const std::uint64_t> ids) {
+  return plan_batch_fetch(registry, ids, nullptr, nullptr);
+}
+
+FetchPlan plan_batch_fetch(const DataRegistry& registry,
+                           std::span<const std::uint64_t> ids,
+                           const std::function<bool(std::uint64_t)>& is_cached,
+                           std::vector<PlannedSample>* cached_out) {
   FetchPlan plan;
   if (ids.empty()) return plan;
 
@@ -32,6 +39,24 @@ FetchPlan plan_batch_fetch(const DataRegistry& registry,
     } else {
       uniques.push_back(Unique{ids[pos], {pos}});
     }
+  }
+
+  // 1b. Cache stage divert: unique ids already resident in the caller's
+  // hot-sample cache never reach a transfer plan.  The ascending-id dedupe
+  // order above makes `cached_out` deterministic for a given batch.
+  if (is_cached) {
+    std::vector<Unique> misses;
+    misses.reserve(uniques.size());
+    for (auto& u : uniques) {
+      if (is_cached(u.id)) {
+        const auto& entry = registry.lookup(u.id);
+        cached_out->push_back(
+            PlannedSample{u.id, 0, entry.length, std::move(u.positions)});
+      } else {
+        misses.push_back(std::move(u));
+      }
+    }
+    uniques = std::move(misses);
   }
   plan.unique_samples = uniques.size();
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -74,5 +75,16 @@ struct FetchPlan {
 /// deterministic; an empty request yields an empty plan.
 FetchPlan plan_batch_fetch(const DataRegistry& registry,
                            std::span<const std::uint64_t> ids);
+
+/// Cache-aware variant: unique ids for which `is_cached` returns true are
+/// diverted to `cached_out` (ascending id order, staging_offset 0, with
+/// their request positions) instead of being planned for transfer.  The
+/// returned plan covers only the misses — `unique_samples` counts planned
+/// misses, while `duplicate_hits` still counts every repeated request entry
+/// regardless of caching.  A null predicate reproduces the plain overload.
+FetchPlan plan_batch_fetch(const DataRegistry& registry,
+                           std::span<const std::uint64_t> ids,
+                           const std::function<bool(std::uint64_t)>& is_cached,
+                           std::vector<PlannedSample>* cached_out);
 
 }  // namespace dds::core

@@ -1,0 +1,158 @@
+// DDStore configuration and the stats view.
+//
+// Split out of ddstore.hpp so the fetch stages (core/fetch/) can see the
+// policy knobs without a circular include on the store itself.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/registry.hpp"
+#include "formats/reader.hpp"
+
+namespace dds::core {
+
+/// The communication framework 'f' of DS = (c, w, f).  The paper's design
+/// section considered a two-sided message-broker framework and rejected it
+/// for one-sided MPI RMA; both are implemented so the choice can be
+/// measured (bench_ablation_comm).
+enum class CommMode {
+  OneSidedRma,  ///< MPI_Win_lock(SHARED) + MPI_Get + unlock (the paper)
+  TwoSided      ///< request/response through a per-rank broker
+};
+
+/// How get_batch turns a batch of sample ids into RMA traffic.  All modes
+/// dedupe repeated ids (fetch once, decode per occurrence) and return
+/// samples in request order.
+enum class BatchFetchMode {
+  /// The paper's Fig. 3 walkthrough: one lock/get/unlock per sample, in
+  /// request order.
+  PerSample,
+  /// One shared-lock epoch per distinct target; individual gets inside the
+  /// epoch with the lock share of the software overhead amortized.
+  LockPerTarget,
+  /// Full planner path: one lock epoch AND one vectored get per distinct
+  /// target, with registry-adjacent samples merged into single ranges
+  /// (core/fetch_plan.hpp).  A transfer that fails transport or delivers
+  /// samples with bad checksums degrades to per-sample resilient fetches
+  /// for just the affected ids.
+  Coalesced,
+};
+
+/// Resilient-fetch policy: how hard DDStore tries before degrading.
+/// Retries and failovers only engage on NetworkError / checksum mismatch,
+/// which only occur when fault injection is armed — with faults off this
+/// policy adds zero work to the hot path.
+struct RetryPolicy {
+  /// Attempts per target per fetch (1 = no retry).
+  int max_attempts = 3;
+  /// First retry backoff, charged to the origin's virtual clock.
+  double backoff_base_s = 250e-6;
+  /// Geometric growth of the backoff per attempt.
+  double backoff_multiplier = 2.0;
+  /// Uniform extra fraction added to each backoff (decorrelates retries).
+  double backoff_jitter = 0.5;
+  /// Consecutive failures on one target that trip its circuit breaker.
+  int breaker_threshold = 3;
+  /// While open, the breaker skips the target for this many fetches.
+  /// Count-based (not time-based) so breaker behaviour is independent of
+  /// the queueing model's scheduling-sensitive completion times.
+  int breaker_cooldown_fetches = 64;
+  /// Fail over to the sample's twin owners in sibling replica groups.
+  bool cross_group_failover = true;
+  /// Last resort: re-read the sample from the filesystem (degraded mode).
+  bool fs_fallback = true;
+  /// Verify the registry checksum on every fetched payload.
+  bool verify_checksums = true;
+};
+
+struct DDStoreConfig {
+  /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
+  /// the paper's default).  comm.size() must be divisible by width.
+  int width = 0;
+  Placement placement = Placement::Block;
+  /// When true, every replica group charges its own preload FS reads
+  /// (as a real deployment would); when false only group 0 pays, which
+  /// keeps giant scaling benches cheap when preload time is excluded.
+  bool charge_replica_preload = true;
+  /// Batch fetch strategy (see BatchFetchMode): per-sample lock/get/unlock
+  /// (the paper), one lock epoch per target, or fully coalesced vectored
+  /// transfers.
+  BatchFetchMode batch_fetch = BatchFetchMode::PerSample;
+  /// Communication framework (one-sided RMA is the paper's choice).
+  CommMode comm_mode = CommMode::OneSidedRma;
+  /// TwoSided only: mean delay until the target's broker thread services a
+  /// queued request (it competes with the target's own training loop).
+  double broker_poll_mean_s = 300e-6;
+  /// CPU cost of decoding a fetched sample (in-memory buffer).
+  formats::DecodeCost decode = formats::DecodeCost::in_memory();
+  /// Resilience policy for the fetch path (see RetryPolicy).
+  RetryPolicy retry;
+  /// Per-rank hot-sample LRU cache capacity in *actual* payload bytes
+  /// (0 disables the Cache stage entirely).  Hits are served before any
+  /// lock epoch at a modeled memcpy cost (CpuParams::cache_hit_service_s +
+  /// nominal bytes / memcpy bandwidth) and never touch the transport,
+  /// retry budget, or circuit breakers.
+  std::uint64_t cache_capacity_bytes = 0;
+};
+
+/// A point-in-time view over the store's MetricsRegistry, materialized by
+/// DDStore::stats().  Field names double as the registry's counter names;
+/// reset_stats() preserves the construction-time preload facts (and the
+/// cache configuration, which lives in DDStoreConfig, not here).
+struct DDStoreStats {
+  std::uint64_t local_gets = 0;
+  std::uint64_t remote_gets = 0;
+  std::uint64_t bytes_fetched = 0;          ///< actual bytes
+  std::uint64_t nominal_bytes_fetched = 0;  ///< paper-scale bytes
+  /// Per-sample graph-loading latency (fetch + decode), the quantity in
+  /// the paper's Fig. 6/12 and Tables 2/3.
+  LatencyRecorder latency;
+
+  // Resilience counters (all zero unless fault injection is armed).
+  std::uint64_t retries = 0;            ///< re-attempts after a failed get
+  std::uint64_t failovers = 0;          ///< samples served by a non-primary target
+  std::uint64_t checksum_failures = 0;  ///< payloads rejected by checksum
+  std::uint64_t degraded_reads = 0;     ///< samples served via FS fallback
+  std::uint64_t breaker_trips = 0;      ///< circuit-breaker open events
+
+  // Fetch-path traffic counters (every batch mode maintains these, so the
+  // lock/coalesce ablations can report exactly what each policy issued).
+  std::uint64_t lock_epochs = 0;    ///< MPI_Win_lock/unlock pairs taken
+  std::uint64_t rma_transfers = 0;  ///< window get/getv calls issued
+
+  // Planner counters (Coalesced batches only).
+  std::uint64_t coalesced_transfers = 0;  ///< vectored gets issued
+  std::uint64_t coalesced_segments = 0;   ///< merged ranges across them
+  std::uint64_t coalesced_bytes = 0;      ///< actual bytes they moved
+  /// Lock epochs a per-sample policy would have taken minus the epochs the
+  /// batched policy actually planned (unique samples - target epochs per
+  /// batch); fallback re-fetches do not subtract from this planner metric.
+  std::uint64_t lock_epochs_saved = 0;
+  /// Duplicate ids inside batches served from the first fetch (deduped).
+  std::uint64_t batch_dup_hits = 0;
+  /// Coalesced transfers that degraded to per-sample resilient fetches
+  /// (transport failure or checksum mismatch inside the staged payload).
+  std::uint64_t coalesced_fallbacks = 0;
+
+  // Cache stage counters (all zero unless cache_capacity_bytes > 0).
+  std::uint64_t cache_hits = 0;       ///< unique lookups served from cache
+  std::uint64_t cache_misses = 0;     ///< unique lookups that went to fetch
+  std::uint64_t cache_evictions = 0;  ///< entries displaced by inserts
+  std::uint64_t cache_hit_bytes = 0;  ///< actual payload bytes served hot
+
+  // Preload facts: set once at construction, preserved by reset_stats()
+  // (epoch-boundary resets must not erase what construction cost).
+  std::uint64_t preload_retries = 0;
+  double preload_seconds = 0.0;
+
+  /// Fraction of cache lookups that hit (0 when the cache never engaged).
+  double cache_hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+};
+
+}  // namespace dds::core

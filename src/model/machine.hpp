@@ -107,6 +107,11 @@ struct CpuParams {
   double batch_fixed_s = 1.2e-3;    ///< per-batch collation overhead
   double batch_per_node_s = 0.4e-6; ///< per graph node copied into the batch
   double memcpy_bandwidth_Bps = 12e9;
+  /// Constant service cost of one hot-sample cache hit (hash lookup + LRU
+  /// bookkeeping).  Kept below NetParams::rma_local_overhead_s so a hit is
+  /// always cheaper than even a local RMA get; the hit also pays the
+  /// nominal payload memcpy at memcpy_bandwidth_Bps.
+  double cache_hit_service_s = 1.0e-6;
 };
 
 /// A full machine description: presets below mirror the paper's testbeds.

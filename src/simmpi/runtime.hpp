@@ -259,6 +259,30 @@ class Comm {
     return out;
   }
 
+  /// Variable-count allgather that does NOT advance virtual clocks — the
+  /// vector analogue of allgather_untimed, for exchanging per-rank metric
+  /// snapshots and other bookkeeping without perturbing the time model.
+  template <typename T>
+    requires TriviallySerializable<T>
+  std::vector<T> allgatherv_untimed(std::span<const T> mine) {
+    deposit(mine.data(), mine.size() * sizeof(T));
+    std::vector<T> out;
+    read_phase([&](int nranks) {
+      std::size_t total = 0;
+      for (int r = 0; r < nranks; ++r) {
+        total += shared_->size_slots[static_cast<std::size_t>(r)] / sizeof(T);
+      }
+      out.reserve(total);
+      for (int r = 0; r < nranks; ++r) {
+        const auto n =
+            shared_->size_slots[static_cast<std::size_t>(r)] / sizeof(T);
+        const T* p = static_cast<const T*>(shared_->slots[r]);
+        out.insert(out.end(), p, p + n);
+      }
+    });
+    return out;
+  }
+
   /// Variable-count gather to `root` only: root receives the concatenation
   /// (with per-rank counts); other ranks receive an empty vector.
   template <typename T>

@@ -85,57 +85,11 @@ void Window::get(MutableByteSpan dst, int target, std::size_t offset,
                 "get outside a lock epoch");
   check_bounds(target, offset, dst.size());
 
-  auto& rt = comm_.runtime();
-  const int origin_world = comm_.world_rank();
-  const int target_world = comm_.world_rank_of(target);
-  auto* inj = rt.fault_injector();
-
-  if (inj != nullptr && origin_world != target_world) {
-    // A dead target never answers: charge the origin the cost of a small
-    // probe (the rendezvous that times out) and report the failure.
-    if (inj->target_dead(target_world, comm_.clock().now())) {
-      const double failed = rt.network().rma_get_time(
-          origin_world, target_world, 64, comm_.clock().now(), overhead_scale);
-      comm_.clock().advance_to(failed);
-      throw NetworkError("RMA get failed: target rank " +
-                         std::to_string(target_world) + " is dead");
-    }
-    switch (inj->rma_outcome(origin_world)) {
-      case faults::GetOutcome::Ok:
-        break;
-      case faults::GetOutcome::Fail: {
-        const double failed = rt.network().rma_get_time(
-            origin_world, target_world, 64, comm_.clock().now(),
-            overhead_scale);
-        comm_.clock().advance_to(failed);
-        throw NetworkError("RMA get failed: transient transport fault from " +
-                           std::to_string(origin_world) + " to " +
-                           std::to_string(target_world));
-      }
-      case faults::GetOutcome::Corrupt: {
-        // Delivered, but damaged in flight: copy the real bytes, then flip
-        // one in the *destination* buffer.  The exposed region stays intact
-        // — only this transfer observed the corruption — so a retry (or the
-        // registry checksum) can genuinely recover the true payload.
-        const auto& region = shared_->regions[t];
-        std::memcpy(dst.data(), region.data() + offset, dst.size());
-        if (!dst.empty()) {
-          dst[inj->corrupt_byte(origin_world, dst.size())] ^= std::byte{0xFF};
-        }
-        const double done = rt.network().rma_get_time(
-            origin_world, target_world,
-            charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
-            overhead_scale);
-        comm_.clock().advance_to(done);
-        return;
-      }
-    }
-  }
-
   const auto& region = shared_->regions[t];
   std::memcpy(dst.data(), region.data() + offset, dst.size());
+  auto& rt = comm_.runtime();
   const double done = rt.network().rma_get_time(
-      origin_world, target_world,
+      comm_.world_rank(), comm_.world_rank_of(target),
       charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
       overhead_scale);
   comm_.clock().advance_to(done);
@@ -152,60 +106,14 @@ void Window::getv(std::span<const GetSegment> segments, int target,
     total += seg.dst.size();
   }
 
-  auto& rt = comm_.runtime();
-  const int origin_world = comm_.world_rank();
-  const int target_world = comm_.world_rank_of(target);
-  auto* inj = rt.fault_injector();
-  const std::uint64_t charged = charge_bytes == 0 ? total : charge_bytes;
-
-  bool corrupt = false;
-  if (inj != nullptr && origin_world != target_world) {
-    if (inj->target_dead(target_world, comm_.clock().now())) {
-      const double failed = rt.network().rma_get_time(
-          origin_world, target_world, 64, comm_.clock().now(), overhead_scale);
-      comm_.clock().advance_to(failed);
-      throw NetworkError("vectored RMA get failed: target rank " +
-                         std::to_string(target_world) + " is dead");
-    }
-    switch (inj->rma_outcome(origin_world)) {
-      case faults::GetOutcome::Ok:
-        break;
-      case faults::GetOutcome::Fail: {
-        const double failed = rt.network().rma_get_time(
-            origin_world, target_world, 64, comm_.clock().now(),
-            overhead_scale);
-        comm_.clock().advance_to(failed);
-        throw NetworkError(
-            "vectored RMA get failed: transient transport fault from " +
-            std::to_string(origin_world) + " to " +
-            std::to_string(target_world));
-      }
-      case faults::GetOutcome::Corrupt:
-        corrupt = true;
-        break;
-    }
-  }
-
   const auto& region = shared_->regions[t];
   for (const auto& seg : segments) {
     std::memcpy(seg.dst.data(), region.data() + seg.offset, seg.dst.size());
   }
-  if (corrupt && total > 0) {
-    // One byte somewhere in the concatenated payload was damaged in flight;
-    // only this transfer observed it (the exposed region stays intact), so
-    // per-sample checksum verification downstream can recover.
-    std::size_t hit = inj->corrupt_byte(origin_world,
-                                        static_cast<std::size_t>(total));
-    for (const auto& seg : segments) {
-      if (hit < seg.dst.size()) {
-        seg.dst[hit] ^= std::byte{0xFF};
-        break;
-      }
-      hit -= seg.dst.size();
-    }
-  }
+  auto& rt = comm_.runtime();
   const double done = rt.network().rma_getv_time(
-      origin_world, target_world, charged, segments.size(),
+      comm_.world_rank(), comm_.world_rank_of(target),
+      charge_bytes == 0 ? total : charge_bytes, segments.size(),
       comm_.clock().now(), overhead_scale);
   comm_.clock().advance_to(done);
 }

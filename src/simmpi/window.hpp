@@ -8,6 +8,10 @@
 // memcpy under a shared_mutex; the NetworkModel charges virtual time
 // (software overhead + wire + queueing at the target node's NIC).
 //
+// The window is a *faithful* data mover: fault injection lives one layer up,
+// at the DDStore transport seam (core/fetch/transport.hpp), which decides a
+// transfer's fate before delegating the clean byte movement here.
+//
 // Deviations from MPI semantics, by design:
 //  * lock() blocks immediately instead of deferring to the first access;
 //    cross-rank exclusive lock cycles can therefore deadlock (as can
@@ -83,10 +87,7 @@ class Window {
   /// RMA transaction (the MPI analogue is an MPI_Get with an indexed
   /// datatype).  Requires an active lock epoch on `target`.  Timing goes
   /// through NetworkModel::rma_getv_time — the per-transfer software
-  /// overhead is charged once, the wire cost sums the segment bytes — and
-  /// fault injection treats the whole transfer as a single operation: one
-  /// outcome draw, a transport failure loses every segment, a corruption
-  /// flips one byte somewhere in the concatenated payload.
+  /// overhead is charged once, the wire cost sums the segment bytes.
   /// `charge_bytes` overrides the *total* size used for timing (0 => sum of
   /// segment sizes), mirroring get()'s nominal-byte accounting.
   void getv(std::span<const GetSegment> segments, int target,

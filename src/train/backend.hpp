@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "core/ddstore.hpp"
 #include "formats/reader.hpp"
 #include "fs/nvme.hpp"
@@ -41,10 +42,12 @@ class DataBackend {
   /// Hook called once per rank per epoch (e.g. container reopen costs).
   virtual void epoch_start() {}
 
-  /// Resilience counters, when the backend has a DDStore under it
-  /// (nullptr otherwise).  SimulatedTrainer diffs these across an epoch to
-  /// report retry/failover/degraded-read activity per EpochReport.
-  virtual const core::DDStoreStats* store_stats() const { return nullptr; }
+  /// The backend's metrics registry, when it keeps one (DDStore does;
+  /// nullptr otherwise).  SimulatedTrainer snapshots the registry's counter
+  /// vector at epoch boundaries and reports summed per-epoch deltas
+  /// generically — a backend that registers a new counter shows up in every
+  /// EpochReport and bench JSON without further plumbing.
+  virtual const MetricsRegistry* metrics() const { return nullptr; }
 };
 
 /// File-based loading: every sample access goes to the (simulated)
@@ -132,8 +135,8 @@ class DDStoreBackend final : public DataBackend {
   }
   std::string name() const override { return "DDStore"; }
 
-  const core::DDStoreStats* store_stats() const override {
-    return &store_->stats();
+  const MetricsRegistry* metrics() const override {
+    return &store_->metrics();
   }
 
   core::DDStore& store() { return *store_; }

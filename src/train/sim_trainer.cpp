@@ -32,22 +32,13 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
   comm_.barrier();  // all ranks enter the epoch together
   const double epoch_begin = clock.now();
   const PhaseProfile profile_at_start = profile_;
-  const core::DDStoreStats* store_stats = backend_->store_stats();
-  const ResilienceReport resilience_at_start =
-      store_stats == nullptr
-          ? ResilienceReport{}
-          : ResilienceReport{store_stats->retries, store_stats->failovers,
-                             store_stats->checksum_failures,
-                             store_stats->degraded_reads};
-  const FetchTrafficReport traffic_at_start =
-      store_stats == nullptr
-          ? FetchTrafficReport{}
-          : FetchTrafficReport{
-                store_stats->lock_epochs, store_stats->rma_transfers,
-                store_stats->coalesced_transfers,
-                store_stats->coalesced_segments, store_stats->coalesced_bytes,
-                store_stats->lock_epochs_saved, store_stats->batch_dup_hits,
-                store_stats->coalesced_fallbacks};
+  // Generic metric accounting: snapshot the backend's registry, diff at the
+  // epoch's end.  Registry layouts are rank-identical (registration-order
+  // contract), so the per-rank delta vectors can be summed elementwise.
+  const MetricsRegistry* registry = backend_->metrics();
+  const std::vector<std::uint64_t> counters_at_start =
+      registry == nullptr ? std::vector<std::uint64_t>{}
+                          : registry->counter_values();
   const double hidden_at_start =
       ploader_ ? ploader_->overlap_hidden_seconds() : 0.0;
 
@@ -75,50 +66,48 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
           : 0.0;
   report.mean_profile = profile_.diff(profile_at_start).allreduce_mean(comm_);
 
-  // Resilience + traffic counters: this rank's delta over the epoch, summed
-  // across ranks (untimed — bookkeeping must not perturb the time model).
-  ResilienceReport local;
-  FetchTrafficReport local_traffic;
-  if (store_stats != nullptr) {
-    local.retries = store_stats->retries - resilience_at_start.retries;
-    local.failovers = store_stats->failovers - resilience_at_start.failovers;
-    local.checksum_failures =
-        store_stats->checksum_failures - resilience_at_start.checksum_failures;
-    local.degraded_reads =
-        store_stats->degraded_reads - resilience_at_start.degraded_reads;
-    local_traffic.lock_epochs =
-        store_stats->lock_epochs - traffic_at_start.lock_epochs;
-    local_traffic.rma_transfers =
-        store_stats->rma_transfers - traffic_at_start.rma_transfers;
-    local_traffic.coalesced_transfers =
-        store_stats->coalesced_transfers - traffic_at_start.coalesced_transfers;
-    local_traffic.coalesced_segments =
-        store_stats->coalesced_segments - traffic_at_start.coalesced_segments;
-    local_traffic.coalesced_bytes =
-        store_stats->coalesced_bytes - traffic_at_start.coalesced_bytes;
-    local_traffic.lock_epochs_saved =
-        store_stats->lock_epochs_saved - traffic_at_start.lock_epochs_saved;
-    local_traffic.batch_dup_hits =
-        store_stats->batch_dup_hits - traffic_at_start.batch_dup_hits;
-    local_traffic.coalesced_fallbacks =
-        store_stats->coalesced_fallbacks - traffic_at_start.coalesced_fallbacks;
+  // Metric counters: this rank's delta over the epoch, summed across ranks
+  // elementwise (untimed — bookkeeping must not perturb the time model).
+  // The exchange is collective, so every rank participates even when its
+  // backend keeps no registry (it contributes an empty vector).
+  std::vector<std::uint64_t> local_delta;
+  if (registry != nullptr) {
+    const std::vector<std::uint64_t> now = registry->counter_values();
+    DDS_CHECK_MSG(now.size() == counters_at_start.size(),
+                  "metrics registered mid-epoch break delta accounting");
+    local_delta.resize(now.size());
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      local_delta[i] = now[i] - counters_at_start[i];
+    }
   }
-  for (const auto& r : comm_.allgather_untimed(local)) {
-    report.resilience.retries += r.retries;
-    report.resilience.failovers += r.failovers;
-    report.resilience.checksum_failures += r.checksum_failures;
-    report.resilience.degraded_reads += r.degraded_reads;
+  const std::vector<std::uint64_t> all_deltas = comm_.allgatherv_untimed(
+      std::span<const std::uint64_t>(local_delta.data(), local_delta.size()));
+  if (registry != nullptr) {
+    const auto& names = registry->counter_names();
+    const std::size_t n = names.size();
+    DDS_CHECK(all_deltas.size() ==
+              n * static_cast<std::size_t>(comm_.size()));
+    std::vector<std::uint64_t> sum(n, 0);
+    for (std::size_t i = 0; i < all_deltas.size(); ++i) {
+      sum[i % n] += all_deltas[i];
+    }
+    report.metrics.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      report.metrics.push_back(EpochReport::MetricSample{names[i], sum[i]});
+    }
   }
-  for (const auto& t : comm_.allgather_untimed(local_traffic)) {
-    report.traffic.lock_epochs += t.lock_epochs;
-    report.traffic.rma_transfers += t.rma_transfers;
-    report.traffic.coalesced_transfers += t.coalesced_transfers;
-    report.traffic.coalesced_segments += t.coalesced_segments;
-    report.traffic.coalesced_bytes += t.coalesced_bytes;
-    report.traffic.lock_epochs_saved += t.lock_epochs_saved;
-    report.traffic.batch_dup_hits += t.batch_dup_hits;
-    report.traffic.coalesced_fallbacks += t.coalesced_fallbacks;
-  }
+  report.resilience.retries = report.metric("retries");
+  report.resilience.failovers = report.metric("failovers");
+  report.resilience.checksum_failures = report.metric("checksum_failures");
+  report.resilience.degraded_reads = report.metric("degraded_reads");
+  report.traffic.lock_epochs = report.metric("lock_epochs");
+  report.traffic.rma_transfers = report.metric("rma_transfers");
+  report.traffic.coalesced_transfers = report.metric("coalesced_transfers");
+  report.traffic.coalesced_segments = report.metric("coalesced_segments");
+  report.traffic.coalesced_bytes = report.metric("coalesced_bytes");
+  report.traffic.lock_epochs_saved = report.metric("lock_epochs_saved");
+  report.traffic.batch_dup_hits = report.metric("batch_dup_hits");
+  report.traffic.coalesced_fallbacks = report.metric("coalesced_fallbacks");
   const double hidden_local =
       ploader_ ? ploader_->overlap_hidden_seconds() - hidden_at_start : 0.0;
   for (const double h : comm_.allgather_untimed(hidden_local)) {

@@ -11,6 +11,9 @@
 // up as GPU-Comm stall, exactly the effect discussed around Fig. 5.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "model/compute.hpp"
 #include "train/loader.hpp"
 #include "train/profiler.hpp"
@@ -46,6 +49,7 @@ struct SimTrainerConfig {
 
 /// Job-wide resilience activity during one epoch (summed over ranks).
 /// All zero unless fault injection was armed and the backend is DDStore.
+/// A convenience view over EpochReport::metrics.
 struct ResilienceReport {
   std::uint64_t retries = 0;
   std::uint64_t failovers = 0;
@@ -60,7 +64,7 @@ struct ResilienceReport {
 
 /// Fetch-path traffic during one epoch (summed over ranks): exactly what
 /// the configured BatchFetchMode issued.  Zero unless the backend is
-/// DDStore.
+/// DDStore.  A convenience view over EpochReport::metrics.
 struct FetchTrafficReport {
   std::uint64_t lock_epochs = 0;
   std::uint64_t rma_transfers = 0;
@@ -73,6 +77,15 @@ struct FetchTrafficReport {
 };
 
 struct EpochReport {
+  /// One backend counter's per-epoch delta, summed across ranks.  Names
+  /// come straight from the backend's MetricsRegistry, in registration
+  /// order — every counter a stage registers appears here without any
+  /// trainer-side plumbing.
+  struct MetricSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+
   std::uint64_t epoch = 0;
   double epoch_seconds = 0;       ///< max across ranks
   std::uint64_t global_samples = 0;
@@ -80,9 +93,21 @@ struct EpochReport {
   PhaseProfile mean_profile;      ///< mean per-rank phase seconds
   ResilienceReport resilience;    ///< summed across ranks
   FetchTrafficReport traffic;     ///< summed across ranks
+  /// Every backend counter's epoch delta, summed across ranks (empty when
+  /// the backend keeps no registry).
+  std::vector<MetricSample> metrics;
   /// Fetch seconds hidden under compute by the prefetching loader, summed
   /// across ranks (0 in Pipelined mode).
   double overlap_hidden_s = 0;
+
+  /// Summed epoch delta of a named counter; 0 when the backend never
+  /// registered it (a linear scan — reports are small and read rarely).
+  std::uint64_t metric(const std::string& name) const {
+    for (const auto& m : metrics) {
+      if (m.name == name) return m.value;
+    }
+    return 0;
+  }
 };
 
 class SimulatedTrainer {
