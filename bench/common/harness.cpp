@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace dds::bench {
@@ -122,7 +123,11 @@ RunResult run_training(StagedData& data, const Scenario& scenario,
   // a previous backend's timeline must not leak into this one.
   data.fs().reset_time_state();
 
-  simmpi::Runtime rt(scenario.nranks, scenario.machine, scenario.seed);
+  const char* force_det = std::getenv("DDS_DETERMINISTIC");
+  const bool deterministic =
+      scenario.deterministic || (force_det != nullptr && *force_det == '1');
+  simmpi::Runtime rt(scenario.nranks, scenario.machine, scenario.seed,
+                     deterministic);
   if (scenario.faults.any()) {
     rt.set_fault_injector(std::make_shared<faults::FaultInjector>(
         scenario.faults, scenario.nranks));

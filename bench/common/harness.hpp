@@ -61,6 +61,11 @@ struct Scenario {
   train::LoaderMode loader_mode = train::LoaderMode::Pipelined;
   int prefetch_depth = 2;
   ShuffleKind shuffle = ShuffleKind::Global;
+  /// Run rank threads under the cooperative TurnScheduler so modeled times
+  /// are bit-identical across runs (required by bench_ci_perf / the CI
+  /// perf gate).  The DDS_DETERMINISTIC=1 env var forces this on for any
+  /// bench without recompiling.
+  bool deterministic = false;
 };
 
 /// A staged dataset: simulated FS with the CFF container (always) and the

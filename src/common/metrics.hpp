@@ -120,7 +120,8 @@ class MetricsRegistry {
   /// (a view asking about a stage that is not armed reads zero activity).
   std::uint64_t counter_value(const std::string& name) const {
     const auto it = counter_index_.find(name);
-    return it == counter_index_.end() ? 0 : counters_[it->second].counter.value();
+    if (it == counter_index_.end()) return 0;
+    return counters_[it->second].counter.value();
   }
 
   double gauge_value(const std::string& name) const {

@@ -1,0 +1,74 @@
+// Trace event model: what one timestamped span looks like.
+//
+// The paper's Fig. 7 attributes epoch time with Score-P; we record the
+// same information natively: every interesting operation (an RMA get, a
+// cache hit, a retry backoff, a forward pass) is one Event with virtual
+// start/end times, a coarse Category for attribution, a static name, and
+// a small fixed set of integer args.  Events are plain structs — cheap to
+// copy into a ring buffer, trivial to merge across ranks at export time.
+#pragma once
+
+#include <cstdint>
+
+namespace dds::tracing {
+
+/// Coarse attribution buckets, one per instrumented layer/stage.  The
+/// exporter's per-category summary and the trainer's phase table key on
+/// these; keep the list short and stable.
+enum class Category : std::uint8_t {
+  Simmpi,      ///< window ops (lock/get/getv/put/unlock), collectives
+  Fetch,       ///< FetchEngine batch orchestration + Plan stage
+  Cache,       ///< SampleCache hits / misses
+  Transport,   ///< RmaTransport wire operations
+  Resilience,  ///< retries, backoff, failover, breaker trips, FS fallback
+  Verify,      ///< checksum verification outcomes
+  Train,       ///< trainer phases: sample, load, fwd/bwd, allreduce, opt
+};
+
+inline constexpr int kNumCategories = 7;
+
+/// Stable lowercase name (used as the Chrome trace "cat" field and as the
+/// summary key — changing one invalidates committed perf baselines).
+inline const char* category_name(Category c) {
+  switch (c) {
+    case Category::Simmpi:
+      return "simmpi";
+    case Category::Fetch:
+      return "fetch";
+    case Category::Cache:
+      return "cache";
+    case Category::Transport:
+      return "transport";
+    case Category::Resilience:
+      return "resilience";
+    case Category::Verify:
+      return "verify";
+    case Category::Train:
+      return "train";
+  }
+  return "?";
+}
+
+/// Optional integer arguments attached to an event; -1 means "not set"
+/// (omitted from the exported JSON).  Fixed fields instead of a string map
+/// keep recording allocation-free.
+struct EventArgs {
+  std::int64_t target = -1;     ///< peer/world rank of the remote side
+  std::int64_t bytes = -1;      ///< payload size moved or served
+  std::int64_t sample_id = -1;  ///< dataset-global sample id
+  std::int64_t attempt = -1;    ///< retry attempt number (resilience)
+};
+
+/// One recorded span.  `name` must point at a string literal (or other
+/// static storage): the tracer stores the pointer, never a copy, so
+/// recording costs no allocation.
+struct Event {
+  double t0 = 0.0;  ///< virtual start time, seconds
+  double t1 = 0.0;  ///< virtual end time, seconds (== t0 for instants)
+  Category category = Category::Simmpi;
+  const char* name = "";
+  EventArgs args;
+  std::uint64_t seq = 0;  ///< per-tracer record order (stable tie-break)
+};
+
+}  // namespace dds::tracing

@@ -1,0 +1,167 @@
+#include "common/tracing/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace dds::tracing {
+
+namespace {
+
+/// Event paired with its source rank for the merged global order.
+struct Tagged {
+  Event event;
+  int rank = 0;
+};
+
+std::vector<Tagged> merged_events(
+    const std::vector<const EventTracer*>& tracers) {
+  std::vector<Tagged> all;
+  for (const EventTracer* t : tracers) {
+    if (t == nullptr) continue;
+    for (const Event& e : t->snapshot()) all.push_back({e, t->rank()});
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    // t1 descending so an outer span sorts before the spans it contains.
+    return std::tie(a.event.t0, b.event.t1, a.rank, a.event.seq) <
+           std::tie(b.event.t0, a.event.t1, b.rank, b.event.seq);
+  });
+  return all;
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_us(std::string& out, double seconds) {
+  // Nanosecond-resolution fixed point: deterministic bytes, and far finer
+  // than any modeled cost.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+void append_args(std::string& out, const EventArgs& args) {
+  bool any = false;
+  const auto field = [&](const char* key, std::int64_t v) {
+    if (v < 0) return;
+    out += any ? "," : "";
+    out += "\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+    any = true;
+  };
+  out += ",\"args\":{";
+  field("target", args.target);
+  field("bytes", args.bytes);
+  field("sample_id", args.sample_id);
+  field("attempt", args.attempt);
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<const EventTracer*>& tracers) {
+  const std::vector<Tagged> all = merged_events(tracers);
+  std::string out;
+  out.reserve(128 + all.size() * 96);
+  out += "{\"traceEvents\":[\n";
+
+  // Thread metadata first: one named row per rank stream.
+  bool first = true;
+  for (const EventTracer* t : tracers) {
+    if (t == nullptr) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(t->rank());
+    out += ",\"args\":{\"name\":\"rank ";
+    out += std::to_string(t->rank());
+    out += "\"}}";
+  }
+
+  for (const Tagged& tagged : all) {
+    const Event& e = tagged.event;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    out += category_name(e.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, e.t0);
+    out += ",\"dur\":";
+    append_us(out, e.t1 - e.t0);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(tagged.rank);
+    append_args(out, e.args);
+    out += "}";
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::vector<SummaryRow> summarize(
+    const std::vector<const EventTracer*>& tracers) {
+  // std::map keys give the (category, name) order the contract promises.
+  std::map<std::pair<int, std::string>, SummaryRow> rows;
+  for (const EventTracer* t : tracers) {
+    if (t == nullptr) continue;
+    for (const Event& e : t->snapshot()) {
+      const auto key =
+          std::make_pair(static_cast<int>(e.category), std::string(e.name));
+      SummaryRow& row = rows[key];
+      row.category = e.category;
+      row.name = e.name;
+      ++row.count;
+      row.seconds += e.t1 - e.t0;
+      if (e.args.bytes > 0) row.bytes += e.args.bytes;
+    }
+  }
+  std::vector<SummaryRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+std::string summary_table(const std::vector<SummaryRow>& rows) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %-24s %10s %14s %14s\n", "category",
+                "name", "count", "seconds", "bytes");
+  out += buf;
+  for (const SummaryRow& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-12s %-24s %10llu %14.6f %14lld\n",
+                  category_name(row.category), row.name.c_str(),
+                  static_cast<unsigned long long>(row.count), row.seconds,
+                  static_cast<long long>(row.bytes));
+    out += buf;
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = (n == content.size()) && (std::fclose(f) == 0);
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace dds::tracing

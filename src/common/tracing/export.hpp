@@ -1,0 +1,48 @@
+// Trace export: merge per-rank event streams into (a) a Chrome/Perfetto
+// trace.json and (b) a compact per-category summary.
+//
+// The Chrome trace event format is the lingua franca of timeline viewers
+// (chrome://tracing, https://ui.perfetto.dev): a JSON object with a
+// `traceEvents` array of complete ("X") events whose `ts`/`dur` are in
+// microseconds.  Virtual seconds map to microseconds via * 1e6; each rank
+// becomes one `tid` under a single `pid 0` process, named by "M" metadata
+// events.  All formatting is fixed-precision printf, so the exported bytes
+// are a pure function of the event streams — the determinism tests compare
+// them directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tracing/tracer.hpp"
+
+namespace dds::tracing {
+
+/// Serializes the rank streams as one Chrome trace JSON document.
+/// Events are globally ordered by (t0, t1 descending, rank, seq) so outer
+/// spans precede the spans they contain and ties break deterministically.
+std::string to_chrome_json(const std::vector<const EventTracer*>& tracers);
+
+/// One line of the per-(category, name) rollup across all ranks.
+struct SummaryRow {
+  Category category = Category::Simmpi;
+  std::string name;
+  std::uint64_t count = 0;   ///< events merged into this row
+  double seconds = 0.0;      ///< sum of span durations (inclusive time)
+  std::int64_t bytes = 0;    ///< sum of args.bytes where set
+};
+
+/// Rolls every event up by (category, name), ordered by category then
+/// name.  Durations are *inclusive*: a parent span's time contains its
+/// children's, so rows from different nesting levels must not be added.
+std::vector<SummaryRow> summarize(
+    const std::vector<const EventTracer*>& tracers);
+
+/// Renders summary rows as an aligned text table (header + one row each).
+std::string summary_table(const std::vector<SummaryRow>& rows);
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace dds::tracing

@@ -96,6 +96,10 @@ struct FetchContext {
   }
 
   model::VirtualClock& clock() const { return comm->clock(); }
+
+  /// This rank's event tracer (nullptr when tracing is off).  Stages pass
+  /// it to tracing::Span guards; the null case costs one branch.
+  tracing::EventTracer* tracer() const { return comm->tracer(); }
 };
 
 }  // namespace dds::core::fetch

@@ -1,7 +1,10 @@
 #include "core/fetch/engine.hpp"
 
 #include <cstring>
+#include <optional>
 #include <unordered_map>
+
+#include "common/tracing/tracer.hpp"
 
 namespace dds::core::fetch {
 
@@ -43,10 +46,20 @@ ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
     if (const ByteBuffer* hit = cache_.lookup(id)) {
       ++metrics_.cache_hits;
       metrics_.cache_hit_bytes += entry.length;
+      tracing::Span span(ctx_.tracer(), ctx_.clock(), tracing::Category::Cache,
+                         "cache_hit");
+      span.args().sample_id = static_cast<std::int64_t>(id);
+      span.args().bytes = static_cast<std::int64_t>(entry.length);
       charge_cache_hit();
       return *hit;
     }
     ++metrics_.cache_misses;
+    if (tracing::EventTracer* tr = ctx_.tracer()) {
+      tracing::EventArgs args;
+      args.sample_id = static_cast<std::int64_t>(id);
+      tr->instant(tracing::Category::Cache, "cache_miss", ctx_.clock().now(),
+                  args);
+    }
   }
   ByteBuffer out(entry.length);
   fetch_into(id, MutableByteSpan(out), /*locked=*/false);
@@ -160,16 +173,28 @@ void FetchEngine::serve_cache_hit(const PlannedSample& sample,
   metrics_.cache_hit_bytes += sample.length;
   auto& clock = ctx_.clock();
   const double t0 = clock.now();
-  charge_cache_hit();
+  {
+    tracing::Span span(ctx_.tracer(), clock, tracing::Category::Cache,
+                       "cache_hit");
+    span.args().sample_id = static_cast<std::int64_t>(sample.id);
+    span.args().bytes = static_cast<std::int64_t>(sample.length);
+    charge_cache_hit();
+  }
   decode_occurrences(sample, ByteSpan(*bytes), clock.now() - t0, out);
 }
 
 std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
     std::span<const std::uint64_t> ids, bool coalesce) {
+  tracing::Span batch_span(ctx_.tracer(), ctx_.clock(),
+                           tracing::Category::Fetch,
+                           coalesce ? "batch_coalesced" : "batch_per_target");
   // Plan stage, with the Cache stage as its residency predicate: ids
   // already resident never enter a transfer plan.  `contains` does not
   // promote — the authoritative lookup in serve_cache_hit does.
   std::vector<PlannedSample> cached;
+  std::optional<tracing::Span> plan_span;
+  plan_span.emplace(ctx_.tracer(), ctx_.clock(), tracing::Category::Fetch,
+                    "plan");
   const FetchPlan plan =
       cache_.enabled()
           ? plan_batch_fetch(
@@ -177,6 +202,8 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
                 [this](std::uint64_t id) { return cache_.contains(id); },
                 &cached)
           : plan_batch_fetch(*ctx_.registry, ids);
+  plan_span->args().bytes = static_cast<std::int64_t>(plan.total_bytes());
+  plan_span.reset();
   std::vector<graph::GraphSample> out(ids.size());
   auto& clock = ctx_.clock();
   metrics_.batch_dup_hits += plan.duplicate_hits;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/checksum.hpp"
+#include "common/tracing/tracer.hpp"
 
 namespace dds::core::fetch {
 
@@ -14,6 +15,12 @@ bool ResilienceStage::payload_intact(const DataRegistry::Entry& entry,
   }
   if (checksum64(dst) == entry.checksum) return true;
   ++ctx_->metrics->checksum_failures;
+  if (tracing::EventTracer* tr = ctx_->tracer()) {
+    tracing::EventArgs args;
+    args.bytes = static_cast<std::int64_t>(dst.size());
+    tr->instant(tracing::Category::Verify, "checksum_fail",
+                ctx_->clock().now(), args);
+  }
   return false;
 }
 
@@ -46,6 +53,11 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
         double delay = rp.backoff_base_s;
         for (int i = 2; i < attempt; ++i) delay *= rp.backoff_multiplier;
         delay *= 1.0 + rp.backoff_jitter * ctx_->comm->rng().uniform();
+        tracing::Span backoff(ctx_->tracer(), ctx_->clock(),
+                              tracing::Category::Resilience, "backoff");
+        backoff.args().target = ctx_->comm->world_rank_of(target);
+        backoff.args().sample_id = static_cast<std::int64_t>(id);
+        backoff.args().attempt = attempt;
         ctx_->clock().advance(delay);
         ++m.retries;
       }
@@ -62,7 +74,16 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
       if (own_lock) transport_->unlock(target);
       if (delivered && payload_intact(entry, ByteSpan(dst))) {
         health.consecutive_failures = 0;
-        if (target != primary) ++m.failovers;
+        if (target != primary) {
+          ++m.failovers;
+          if (tracing::EventTracer* tr = ctx_->tracer()) {
+            tracing::EventArgs args;
+            args.target = ctx_->comm->world_rank_of(target);
+            args.sample_id = static_cast<std::int64_t>(id);
+            tr->instant(tracing::Category::Resilience, "failover",
+                        ctx_->clock().now(), args);
+          }
+        }
         return;
       }
       ++health.consecutive_failures;
@@ -70,6 +91,12 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
         health.consecutive_failures = 0;
         health.skip_remaining = rp.breaker_cooldown_fetches;
         ++m.breaker_trips;
+        if (tracing::EventTracer* tr = ctx_->tracer()) {
+          tracing::EventArgs args;
+          args.target = ctx_->comm->world_rank_of(target);
+          tr->instant(tracing::Category::Resilience, "breaker_trip",
+                      ctx_->clock().now(), args);
+        }
         break;  // give up on this target, move to the next candidate
       }
     }
@@ -78,6 +105,10 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
   if (rp.fs_fallback) {
     // Degraded mode: every in-memory route is exhausted; re-read the
     // sample from the parallel filesystem through the format plugin.
+    tracing::Span span(ctx_->tracer(), ctx_->clock(),
+                       tracing::Category::Resilience, "fs_fallback");
+    span.args().sample_id = static_cast<std::int64_t>(id);
+    span.args().bytes = static_cast<std::int64_t>(entry.length);
     const ByteBuffer bytes = ctx_->reader->read_bytes(id, *ctx_->fs_client);
     if (bytes.size() != entry.length ||
         (rp.verify_checksums && entry.checksum != 0 &&

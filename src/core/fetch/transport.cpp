@@ -2,11 +2,19 @@
 
 #include <string>
 
+#include "common/tracing/tracer.hpp"
+
 namespace dds::core::fetch {
 
 void RmaTransport::lock(int target) {
   ctx_->window->lock(target, simmpi::LockType::Shared);
   ++ctx_->metrics->lock_epochs;
+  if (tracing::EventTracer* tr = ctx_->tracer()) {
+    tracing::EventArgs args;
+    args.target = ctx_->comm->world_rank_of(target);
+    tr->instant(tracing::Category::Transport, "lock_epoch",
+                ctx_->clock().now(), args);
+  }
 }
 
 void RmaTransport::unlock(int target) { ctx_->window->unlock(target); }
@@ -50,6 +58,10 @@ bool RmaTransport::resolve_fault(int target, double overhead_scale,
 void RmaTransport::get(MutableByteSpan dst, int target, std::size_t offset,
                        std::uint64_t charge_bytes, double overhead_scale) {
   ++ctx_->metrics->rma_transfers;
+  tracing::Span span(ctx_->tracer(), ctx_->clock(),
+                     tracing::Category::Transport, "rma_get");
+  span.args().target = ctx_->comm->world_rank_of(target);
+  span.args().bytes = static_cast<std::int64_t>(dst.size());
   const bool corrupt = resolve_fault(target, overhead_scale, "RMA get");
   ctx_->window->get(dst, target, offset, charge_bytes, overhead_scale);
   if (corrupt && !dst.empty()) {
@@ -66,6 +78,12 @@ void RmaTransport::get(MutableByteSpan dst, int target, std::size_t offset,
 void RmaTransport::getv(std::span<const simmpi::Window::GetSegment> segments,
                         int target, std::uint64_t charge_bytes) {
   ++ctx_->metrics->rma_transfers;
+  tracing::Span span(ctx_->tracer(), ctx_->clock(),
+                     tracing::Category::Transport, "rma_getv");
+  span.args().target = ctx_->comm->world_rank_of(target);
+  std::uint64_t span_bytes = 0;
+  for (const auto& seg : segments) span_bytes += seg.dst.size();
+  span.args().bytes = static_cast<std::int64_t>(span_bytes);
   const bool corrupt =
       resolve_fault(target, /*overhead_scale=*/1.0, "vectored RMA get");
   ctx_->window->getv(segments, target, charge_bytes);

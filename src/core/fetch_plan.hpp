@@ -69,6 +69,13 @@ struct FetchPlan {
     for (const auto& t : targets) n += t.ranges.size();
     return n;
   }
+
+  /// Planned transfer volume across all targets (sum of range lengths).
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& t : targets) n += t.bytes;
+    return n;
+  }
 };
 
 /// Builds the coalesced fetch plan for `ids` against `registry`.  Pure and

@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "simmpi/sched.hpp"
 
 namespace dds::simmpi {
 
@@ -35,7 +36,9 @@ class AbortFlag {
 
 class Barrier {
  public:
-  Barrier(int parties, AbortFlag* abort) : parties_(parties), abort_(abort) {
+  /// `sched` enables the deterministic cooperative wait path (may be null).
+  Barrier(int parties, AbortFlag* abort, TurnScheduler* sched = nullptr)
+      : parties_(parties), abort_(abort), sched_(sched) {
     DDS_CHECK(parties > 0);
   }
 
@@ -46,7 +49,10 @@ class Barrier {
   ///
   /// Waiters poll the abort flag on a short timeout: the Runtime cannot
   /// enumerate every barrier (sub-communicators create their own), so a
-  /// notify-based abort could strand parked threads.
+  /// notify-based abort could strand parked threads.  Under a TurnScheduler
+  /// the wait is cooperative instead: arrival is registered under the
+  /// barrier lock, the lock is released, and the rank yields its execution
+  /// token until the generation flips (or the abort flag rises).
   void arrive_and_wait() {
     std::unique_lock lock(m_);
     if (abort_ != nullptr && abort_->raised()) throw AbortedError();
@@ -55,6 +61,22 @@ class Barrier {
       count_ = 0;
       ++generation_;
       cv_.notify_all();
+      return;
+    }
+    if (sched_ != nullptr) {
+      lock.unlock();
+      sched_->yield_until([&] {
+        if (abort_ != nullptr && abort_->raised()) return true;
+        const std::scoped_lock check(m_);
+        return generation_ != gen;
+      });
+      lock.lock();
+      if (generation_ == gen) {
+        // Woken by abort before the barrier completed: withdraw this
+        // arrival so the barrier stays consistent for the next run().
+        --count_;
+        throw AbortedError();
+      }
       return;
     }
     while (!cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
@@ -79,6 +101,7 @@ class Barrier {
   int count_ = 0;
   std::uint64_t generation_ = 0;
   AbortFlag* abort_;
+  TurnScheduler* sched_;
 };
 
 }  // namespace dds::simmpi

@@ -16,7 +16,20 @@ model::VirtualClock& Comm::clock() const {
 
 Rng& Comm::rng() const { return shared_->runtime->rng_of(world_rank()); }
 
+tracing::EventTracer* Comm::tracer() const {
+  return shared_->runtime->tracer_of(world_rank());
+}
+
 double Comm::clock_now() const { return clock().now(); }
+
+void Comm::trace_collective(const char* name, double t0,
+                            std::size_t bytes) const {
+  tracing::EventTracer* tr = tracer();
+  if (tr == nullptr) return;
+  tracing::EventArgs args;
+  args.bytes = static_cast<std::int64_t>(bytes);
+  tr->record(tracing::Category::Simmpi, name, t0, clock_now(), args);
+}
 
 void Comm::finish(double max_start, std::size_t bytes) {
   const double done =
@@ -65,7 +78,8 @@ Comm Comm::split(int color, int key) {
     shared_->publish[static_cast<std::size_t>(rank_)] =
         std::make_shared<detail::CommShared>(shared_->runtime,
                                              std::move(world),
-                                             &shared_->runtime->abort_flag());
+                                             &shared_->runtime->abort_flag(),
+                                             shared_->runtime->scheduler());
   }
   shared_->barrier.arrive_and_wait();
   auto sub = shared_->publish[static_cast<std::size_t>(leader)];
@@ -101,6 +115,7 @@ void Comm::send_bytes(ByteSpan data, int dest, int tag) {
   Runtime& rt = *shared_->runtime;
   const int src_world = world_rank();
   const int dst_world = world_rank_of(dest);
+  const double trace_t0 = clock().now();
   const double arrival = rt.network().message_time(
       src_world, dst_world, data.size(), clock().now());
 
@@ -119,24 +134,54 @@ void Comm::send_bytes(ByteSpan data, int dest, int tag) {
   box.cv.notify_all();
   // Sender returns once the message is injected (eager protocol).
   clock().advance(rt.machine().net.inter_latency_s);
+  if (tracing::EventTracer* tr = tracer()) {
+    tracing::EventArgs args;
+    args.target = dst_world;
+    args.bytes = static_cast<std::int64_t>(data.size());
+    tr->record(tracing::Category::Simmpi, "send", trace_t0, clock().now(),
+               args);
+  }
 }
 
 ByteBuffer Comm::recv_bytes(int src, int tag, int* actual_src) {
   Runtime& rt = *shared_->runtime;
   auto& box = rt.mailbox(world_rank());
+  const auto match = [&](const detail::Message& m) {
+    return (src == kAnySource || m.src == src) && m.tag == tag;
+  };
   std::unique_lock lock(box.m);
   for (;;) {
-    const auto it = std::find_if(
-        box.q.begin(), box.q.end(), [&](const detail::Message& m) {
-          return (src == kAnySource || m.src == src) && m.tag == tag;
-        });
+    const auto it = std::find_if(box.q.begin(), box.q.end(), match);
     if (it != box.q.end()) {
       detail::Message msg = std::move(*it);
       box.q.erase(it);
       lock.unlock();
+      const double trace_t0 = clock().now();
       clock().advance_to(msg.arrival);
       if (actual_src != nullptr) *actual_src = msg.src;
+      if (tracing::EventTracer* tr = tracer()) {
+        tracing::EventArgs args;
+        args.target = world_rank_of(msg.src);
+        args.bytes = static_cast<std::int64_t>(msg.data.size());
+        tr->record(tracing::Category::Simmpi, "recv", trace_t0, clock().now(),
+                   args);
+      }
       return std::move(msg.data);
+    }
+    if (TurnScheduler* sched = rt.scheduler()) {
+      // Cooperative wait: release the mailbox, hand the execution token
+      // around until a matching message lands (or the job aborts).
+      lock.unlock();
+      sched->yield_until([&] {
+        if (rt.abort_flag().raised()) return true;
+        const std::scoped_lock check(box.m);
+        return std::find_if(box.q.begin(), box.q.end(), match) != box.q.end();
+      });
+      lock.lock();
+      if (std::find_if(box.q.begin(), box.q.end(), match) == box.q.end()) {
+        throw AbortedError();
+      }
+      continue;
     }
     const std::uint64_t seen = box.version;
     if (!box.cv.wait_for(lock, std::chrono::milliseconds(20),
@@ -148,10 +193,12 @@ ByteBuffer Comm::recv_bytes(int src, int tag, int* actual_src) {
 
 // ---- Runtime ---------------------------------------------------------------
 
-Runtime::Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed)
+Runtime::Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed,
+                 bool deterministic)
     : nranks_(nranks),
       machine_(std::move(machine)),
       net_(machine_, nranks),
+      sched_(deterministic ? std::make_unique<TurnScheduler>(nranks) : nullptr),
       clocks_(static_cast<std::size_t>(nranks)),
       rngs_() {
   DDS_CHECK_MSG(nranks > 0, "Runtime needs at least one rank");
@@ -165,17 +212,32 @@ Runtime::Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed)
   std::vector<int> world(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) world[static_cast<std::size_t>(r)] = r;
   world_ = std::make_shared<detail::CommShared>(this, std::move(world),
-                                                &abort_);
+                                                &abort_, sched_.get());
 }
 
 void Runtime::run(const std::function<void(Comm&)>& fn) {
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // Exception-safe turn bracket: a rank that unwinds (error or abort) must
+  // still leave the rotation, or the remaining ranks would wait forever for
+  // a token the dead thread holds.
+  struct TurnGuard {
+    TurnScheduler* sched;
+    TurnGuard(TurnScheduler* s, int rank) : sched(s) {
+      if (sched != nullptr) sched->begin_turn(rank);
+    }
+    ~TurnGuard() {
+      if (sched != nullptr) sched->end_turn();
+    }
+  };
+
+  if (sched_ != nullptr) sched_->reset(nranks_);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
+      const TurnGuard turn(sched_.get(), r);
       try {
         Comm comm(world_, r);
         fn(comm);

@@ -28,6 +28,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/tracing/tracer.hpp"
 #include "faults/injector.hpp"
 #include "model/clock.hpp"
 #include "model/machine.hpp"
@@ -77,11 +78,13 @@ struct Mailbox {
 
 /// State shared by all member ranks of one communicator.
 struct CommShared {
-  CommShared(Runtime* rt, std::vector<int> world, AbortFlag* abort)
+  CommShared(Runtime* rt, std::vector<int> world, AbortFlag* abort,
+             TurnScheduler* sched)
       : runtime(rt),
         world_ranks(std::move(world)),
-        barrier(static_cast<int>(world_ranks.size()), abort),
+        barrier(static_cast<int>(world_ranks.size()), abort, sched),
         slots(world_ranks.size(), nullptr),
+        slot_storage(world_ranks.size()),
         size_slots(world_ranks.size(), 0),
         clock_slots(world_ranks.size(), 0.0),
         publish(world_ranks.size()),
@@ -93,6 +96,7 @@ struct CommShared {
   std::vector<int> world_ranks;  ///< subrank -> world rank
   Barrier barrier;
   std::vector<const void*> slots;
+  std::vector<ByteBuffer> slot_storage;  ///< backing bytes for `slots`
   std::vector<std::size_t> size_slots;
   std::vector<double> clock_slots;
   std::vector<std::shared_ptr<CommShared>> publish;  ///< for split()
@@ -115,11 +119,17 @@ class Comm {
   Runtime& runtime() const { return *shared_->runtime; }
   model::VirtualClock& clock() const;
   Rng& rng() const;
+  /// This rank's event tracer, or nullptr when tracing is disabled.
+  tracing::EventTracer* tracer() const;
 
   // ---- collectives ----------------------------------------------------
 
   /// Barrier: synchronizes ranks and reconciles virtual clocks to the max.
-  void barrier() { sync_clocks(0); }
+  void barrier() {
+    const double t0 = clock_now();
+    sync_clocks(0);
+    trace_collective("barrier", t0, 0);
+  }
 
   /// Splits into sub-communicators by color; ranks ordered by (key, rank).
   Comm split(int color, int key);
@@ -129,6 +139,7 @@ class Comm {
   template <typename T>
     requires TriviallySerializable<T>
   void bcast(T* data, std::size_t count, int root) {
+    const double t0 = clock_now();
     deposit(data, count * sizeof(T));
     const double done = read_phase([&](int) {
       if (rank_ != root) {
@@ -136,6 +147,7 @@ class Comm {
       }
     });
     finish(done, count * sizeof(T));
+    trace_collective("bcast", t0, count * sizeof(T));
   }
 
   template <typename T>
@@ -156,10 +168,10 @@ class Comm {
   template <typename T>
     requires TriviallySerializable<T>
   void allreduce_inplace(std::span<T> data, Op op) {
-    // Deposit the *input*; every rank folds all contributions locally.
-    // A copy keeps the input stable while peers read it.
-    std::vector<T> mine(data.begin(), data.end());
-    deposit(mine.data(), mine.size() * sizeof(T));
+    const double t0 = clock_now();
+    // deposit() snapshots the *input*, so folding into `data` in place is
+    // safe while peers read the published snapshot.
+    deposit(data.data(), data.size() * sizeof(T));
     const double done = read_phase([&](int nranks) {
       for (int r = 0; r < nranks; ++r) {
         if (r == rank_) continue;
@@ -170,11 +182,13 @@ class Comm {
       }
     });
     finish(done, data.size() * sizeof(T));
+    trace_collective("allreduce", t0, data.size() * sizeof(T));
   }
 
   template <typename T>
     requires TriviallySerializable<T>
   std::vector<T> allgather(const T& value) {
+    const double t0 = clock_now();
     deposit(&value, sizeof(T));
     std::vector<T> out(static_cast<std::size_t>(size()));
     const double done = read_phase([&](int nranks) {
@@ -184,6 +198,7 @@ class Comm {
       }
     });
     finish(done, sizeof(T));
+    trace_collective("allgather", t0, sizeof(T));
     return out;
   }
 
@@ -193,6 +208,7 @@ class Comm {
     requires TriviallySerializable<T>
   std::vector<T> allgatherv(std::span<const T> mine,
                             std::vector<std::size_t>* counts = nullptr) {
+    const double t0 = clock_now();
     deposit(mine.data(), mine.size() * sizeof(T));
     std::vector<T> out;
     std::size_t max_bytes = 0;
@@ -214,6 +230,7 @@ class Comm {
       }
     });
     finish(done, max_bytes);
+    trace_collective("allgatherv", t0, max_bytes);
     return out;
   }
 
@@ -224,21 +241,39 @@ class Comm {
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& send,
                            std::vector<std::size_t>* counts = nullptr) {
     DDS_CHECK(static_cast<int>(send.size()) == size());
-    deposit(&send, sizeof(send));
+    const double t0 = clock_now();
+    // Flatten into one length-prefixed buffer so deposit() snapshots the
+    // whole payload: a pointer to the caller's nested vectors would dangle
+    // if the caller unwinds on abort while a peer is still reading.
+    ByteBuffer flat;
+    BinaryWriter writer(flat);
+    for (const auto& s : send) writer.write_vector(s);
+    deposit(flat.data(), flat.size());
     std::vector<T> out;
     std::size_t my_bytes_out = 0;
     for (const auto& s : send) my_bytes_out += s.size() * sizeof(T);
     const double done = read_phase([&](int nranks) {
       if (counts != nullptr) counts->assign(static_cast<std::size_t>(nranks), 0);
       for (int r = 0; r < nranks; ++r) {
-        const auto* their_send =
-            static_cast<const std::vector<std::vector<T>>*>(shared_->slots[r]);
-        const auto& seg = (*their_send)[static_cast<std::size_t>(rank_)];
-        out.insert(out.end(), seg.begin(), seg.end());
-        if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = seg.size();
+        const auto sr = static_cast<std::size_t>(r);
+        BinaryReader reader(
+            ByteSpan(static_cast<const std::byte*>(shared_->slots[sr]),
+                     shared_->size_slots[sr]));
+        // Segment `dest` of rank r's buffer is addressed to rank `dest`.
+        for (int dest = 0; dest < nranks; ++dest) {
+          if (dest == rank_) {
+            const std::vector<T> seg = reader.read_vector<T>();
+            out.insert(out.end(), seg.begin(), seg.end());
+            if (counts != nullptr) (*counts)[sr] = seg.size();
+          } else {
+            const auto n = reader.read<std::uint64_t>();
+            reader.skip(static_cast<std::size_t>(n) * sizeof(T));
+          }
+        }
       }
     });
     finish(done, my_bytes_out);
+    trace_collective("alltoallv", t0, my_bytes_out);
     return out;
   }
 
@@ -289,6 +324,7 @@ class Comm {
     requires TriviallySerializable<T>
   std::vector<T> gatherv(std::span<const T> mine, int root,
                          std::vector<std::size_t>* counts = nullptr) {
+    const double t0 = clock_now();
     deposit(mine.data(), mine.size() * sizeof(T));
     std::vector<T> out;
     const double done = read_phase([&](int nranks) {
@@ -307,6 +343,7 @@ class Comm {
       }
     });
     finish(done, mine.size() * sizeof(T));
+    trace_collective("gatherv", t0, mine.size() * sizeof(T));
     return out;
   }
 
@@ -358,7 +395,28 @@ class Comm {
   Comm(std::shared_ptr<detail::CommShared> shared, int rank)
       : shared_(std::move(shared)), rank_(rank) {}
 
+  /// Publishes this rank's contribution by *copying* it into storage owned
+  /// by the CommShared.  Peers read `slots` between the two barriers of
+  /// read_phase(); on abort a rank can unwind out of the second barrier —
+  /// destroying its stack frame — while a slower peer is still reading, so
+  /// a slot must never point at rank-local memory.
   void deposit(const void* ptr, std::size_t bytes) {
+    auto& storage = shared_->slot_storage[static_cast<std::size_t>(rank_)];
+    // Keep data() non-null even for empty payloads: readers form
+    // (pointer, pointer + 0) ranges from the slot.
+    storage.reserve(bytes > 0 ? bytes : 1);
+    storage.resize(bytes);
+    if (bytes != 0) std::memcpy(storage.data(), ptr, bytes);
+    shared_->slots[static_cast<std::size_t>(rank_)] = storage.data();
+    shared_->size_slots[static_cast<std::size_t>(rank_)] = bytes;
+    shared_->clock_slots[static_cast<std::size_t>(rank_)] = clock_now();
+  }
+
+  /// Publishes a raw pointer WITHOUT copying — only for Window
+  /// registration, where `slots` must carry the actual region addresses
+  /// (RMA targets the region itself, not a snapshot) and region lifetime
+  /// is the window's contract (see Window's keepalive parameter).
+  void deposit_raw(const void* ptr, std::size_t bytes) {
     shared_->slots[static_cast<std::size_t>(rank_)] = ptr;
     shared_->size_slots[static_cast<std::size_t>(rank_)] = bytes;
     shared_->clock_slots[static_cast<std::size_t>(rank_)] = clock_now();
@@ -379,6 +437,10 @@ class Comm {
   void finish(double max_start, std::size_t bytes);
   void sync_clocks(std::size_t bytes);
   double clock_now() const;
+  /// Records a Simmpi-category span from `t0` to now (no-op when tracing
+  /// is off).  The untimed collectives deliberately do not call this: they
+  /// move bookkeeping, not modeled traffic.
+  void trace_collective(const char* name, double t0, std::size_t bytes) const;
 
   std::shared_ptr<detail::CommShared> shared_;
   int rank_ = 0;
@@ -387,7 +449,13 @@ class Comm {
 /// Owns the rank threads, clocks, RNG streams, and the network model.
 class Runtime {
  public:
-  Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed = 42);
+  /// `deterministic` serializes rank threads through a TurnScheduler so
+  /// every shared virtual resource observes operations in a reproducible
+  /// order — modeled times become bit-identical across runs (the CI perf
+  /// gate depends on this).  Default off: free-running threads are faster
+  /// and faithful for throughput experiments.
+  Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed = 42,
+          bool deterministic = false);
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -411,6 +479,48 @@ class Runtime {
     return *mailboxes_[static_cast<std::size_t>(world_rank)];
   }
   AbortFlag& abort_flag() { return abort_; }
+
+  /// The cooperative scheduler, or nullptr when free-running (default).
+  TurnScheduler* scheduler() { return sched_.get(); }
+  bool deterministic() const { return sched_ != nullptr; }
+
+  // ---- event tracing ----------------------------------------------------
+
+  /// Arms one bounded EventTracer per rank for subsequent run() calls.
+  /// Call before run(); each rank thread writes only its own stream, so
+  /// recording needs no locks.
+  void enable_tracing(std::size_t capacity_per_rank = 1u << 20) {
+    tracers_.clear();
+    tracers_.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      tracers_.push_back(
+          std::make_unique<tracing::EventTracer>(r, capacity_per_rank));
+    }
+  }
+
+  /// The rank's tracer, or nullptr when tracing is disabled.
+  tracing::EventTracer* tracer_of(int world_rank) {
+    if (tracers_.empty()) return nullptr;
+    return tracers_[static_cast<std::size_t>(world_rank)].get();
+  }
+
+  bool tracing_enabled() const { return !tracers_.empty(); }
+
+  /// Per-rank streams for the exporter (empty when tracing is disabled).
+  /// Only valid between run() calls — rank threads own their streams while
+  /// running.
+  std::vector<const tracing::EventTracer*> traces() const {
+    std::vector<const tracing::EventTracer*> out;
+    out.reserve(tracers_.size());
+    for (const auto& t : tracers_) out.push_back(t.get());
+    return out;
+  }
+
+  /// Empties every rank stream (e.g. after a warmup phase or clock reset,
+  /// so exported spans align with the measured timeline).
+  void clear_traces() {
+    for (auto& t : tracers_) t->clear();
+  }
 
   /// Maximum simulated time across ranks (the job's makespan so far).
   double max_clock() const;
@@ -440,9 +550,11 @@ class Runtime {
   model::MachineConfig machine_;
   model::NetworkModel net_;
   AbortFlag abort_;
+  std::unique_ptr<TurnScheduler> sched_;
   std::vector<model::VirtualClock> clocks_;
   std::vector<Rng> rngs_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<tracing::EventTracer>> tracers_;
   std::shared_ptr<faults::FaultInjector> injector_;
   std::shared_ptr<detail::CommShared> world_;
 };

@@ -1,0 +1,132 @@
+// TurnScheduler: deterministic cooperative execution of rank threads.
+//
+// The free-running thread runtime is faithful but not reproducible: shared
+// virtual resources (BusyResource buckets, the FS page cache) observe rank
+// operations in whatever order the OS happens to schedule the threads, so
+// modeled epoch times wobble at the microsecond level from run to run.
+// That noise is invisible to the throughput figures but fatal to the CI
+// perf gate, which compares modeled times *byte for byte*.
+//
+// In deterministic mode a single execution token circulates among the rank
+// threads in rank order.  Exactly one thread runs at a time; a thread gives
+// the token up only at explicit cooperative wait points (barrier arrival,
+// two-sided receive), so the global interleaving of every virtual-time
+// event is a pure function of the program — identical on every run, on any
+// machine, at any ctest parallelism.
+//
+// Contract for cooperative code:
+//  * A thread must never hold a lock that another rank can block on while
+//    it yields.  The simmpi wait points (Barrier, Comm::recv_bytes) release
+//    their own mutexes before yielding; plain short critical sections
+//    (BusyResource, mailboxes) never yield and therefore never deadlock.
+//  * Window lock epochs use shared locks only on the fetch path, so no
+//    rank suspends while holding a lock a peer needs.  Exclusive-lock
+//    contention across ranks is NOT supported in deterministic mode (it
+//    would deadlock), exactly as documented for misordered passive-target
+//    MPI code.
+//  * Predicates passed to yield_until() are evaluated while holding the
+//    token and must depend only on state mutated by rank threads (plus the
+//    abort flag), so their truth value is deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dds::simmpi {
+
+class TurnScheduler {
+ public:
+  explicit TurnScheduler(int nranks) { reset(nranks); }
+
+  TurnScheduler(const TurnScheduler&) = delete;
+  TurnScheduler& operator=(const TurnScheduler&) = delete;
+
+  /// Re-arms the rotation for a fresh Runtime::run (all ranks active, the
+  /// token parked on rank 0).  Must not be called while rank threads run.
+  void reset(int nranks) {
+    const std::scoped_lock lock(m_);
+    DDS_CHECK(nranks > 0);
+    active_.assign(static_cast<std::size_t>(nranks), true);
+    threads_.clear();
+    current_ = 0;
+  }
+
+  /// Registers the calling thread as `rank` and blocks until it holds the
+  /// token.  Every rank thread calls this once before running user code,
+  /// so even thread *startup* is serialized in rank order.
+  void begin_turn(int rank) {
+    std::unique_lock lock(m_);
+    threads_[std::this_thread::get_id()] = rank;
+    cv_.wait(lock, [&] { return current_ == rank; });
+  }
+
+  /// Removes the calling rank from the rotation and passes the token on.
+  /// Called when the rank thread finishes (normally or by unwind).
+  void end_turn() {
+    const std::scoped_lock lock(m_);
+    const int rank = self_locked();
+    threads_.erase(std::this_thread::get_id());
+    active_[static_cast<std::size_t>(rank)] = false;
+    if (current_ == rank) advance_locked(rank);
+    cv_.notify_all();
+  }
+
+  /// Cooperative wait: while `pred()` is false, hands the token to the
+  /// next active rank and sleeps until the token comes back.  `pred` runs
+  /// only while this rank holds the token (never concurrently with rank
+  /// code), so it may freely read shared state under its own short locks.
+  template <typename Pred>
+  void yield_until(Pred&& pred) {
+    std::unique_lock lock(m_);
+    const int rank = self_locked();
+    // A correct program re-checks at most a few times per waiter (each
+    // arrival elsewhere hands the token around once); an astronomic count
+    // means every rank is parked with a false predicate — a genuine
+    // deadlock that should fail loudly instead of spinning forever.
+    for (std::uint64_t spins = 0;; ++spins) {
+      if (pred()) return;
+      DDS_CHECK_MSG(spins < kDeadlockSpins,
+                    "TurnScheduler: all ranks parked (cooperative deadlock)");
+      advance_locked(rank);
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return current_ == rank; });
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kDeadlockSpins = 1 << 22;
+
+  int self_locked() const {
+    const auto it = threads_.find(std::this_thread::get_id());
+    DDS_CHECK_MSG(it != threads_.end(),
+                  "TurnScheduler used by a thread that never began a turn");
+    return it->second;
+  }
+
+  /// Moves the token to the next active rank after `from` (cyclic); parks
+  /// it on -1 when no rank is active any more.
+  void advance_locked(int from) {
+    const int n = static_cast<int>(active_.size());
+    for (int step = 1; step <= n; ++step) {
+      const int r = (from + step) % n;
+      if (active_[static_cast<std::size_t>(r)]) {
+        current_ = r;
+        return;
+      }
+    }
+    current_ = -1;
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<bool> active_;
+  std::unordered_map<std::thread::id, int> threads_;
+  int current_ = 0;
+};
+
+}  // namespace dds::simmpi

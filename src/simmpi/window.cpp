@@ -12,7 +12,9 @@ Window::Window(Comm& comm, MutableByteSpan local,
   const auto me = static_cast<std::size_t>(comm_.rank());
 
   // Registration (MPI_Win_create) is collective: exchange region pointers.
-  comm_.deposit(local.data(), local.size());
+  // deposit_raw, not deposit: the slots must carry the real region
+  // addresses, not a snapshot copy.
+  comm_.deposit_raw(local.data(), local.size());
   cs.barrier.arrive_and_wait();
   double start = 0.0;
   for (double t : cs.clock_slots) start = std::max(start, t);
@@ -49,7 +51,14 @@ void Window::lock(int target, LockType type) {
   }
   // Timing of lock/unlock is folded into the per-access RMA overhead in
   // NetworkModel (rma_remote_overhead_s), matching how the paper reports a
-  // single per-sample fetch latency.
+  // single per-sample fetch latency — so the trace marks epoch boundaries
+  // with zero-duration instants rather than spans.
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    tr->instant(tracing::Category::Simmpi, "win_lock", comm_.clock().now(),
+                args);
+  }
 }
 
 void Window::unlock(int target) {
@@ -65,6 +74,12 @@ void Window::unlock(int target) {
       throw InternalError("unlock without a matching lock");
   }
   held_[t] = HeldLock::None;
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    tr->instant(tracing::Category::Simmpi, "win_unlock", comm_.clock().now(),
+                args);
+  }
 }
 
 void Window::check_bounds(int target, std::size_t offset,
@@ -88,11 +103,19 @@ void Window::get(MutableByteSpan dst, int target, std::size_t offset,
   const auto& region = shared_->regions[t];
   std::memcpy(dst.data(), region.data() + offset, dst.size());
   auto& rt = comm_.runtime();
+  const double trace_t0 = comm_.clock().now();
   const double done = rt.network().rma_get_time(
       comm_.world_rank(), comm_.world_rank_of(target),
       charge_bytes == 0 ? dst.size() : charge_bytes, comm_.clock().now(),
       overhead_scale);
   comm_.clock().advance_to(done);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    args.bytes = static_cast<std::int64_t>(dst.size());
+    tr->record(tracing::Category::Simmpi, "win_get", trace_t0,
+               comm_.clock().now(), args);
+  }
 }
 
 void Window::getv(std::span<const GetSegment> segments, int target,
@@ -111,11 +134,19 @@ void Window::getv(std::span<const GetSegment> segments, int target,
     std::memcpy(seg.dst.data(), region.data() + seg.offset, seg.dst.size());
   }
   auto& rt = comm_.runtime();
+  const double trace_t0 = comm_.clock().now();
   const double done = rt.network().rma_getv_time(
       comm_.world_rank(), comm_.world_rank_of(target),
       charge_bytes == 0 ? total : charge_bytes, segments.size(),
       comm_.clock().now(), overhead_scale);
   comm_.clock().advance_to(done);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    args.bytes = static_cast<std::int64_t>(total);
+    tr->record(tracing::Category::Simmpi, "win_getv", trace_t0,
+               comm_.clock().now(), args);
+  }
 }
 
 void Window::put(ByteSpan src, int target, std::size_t offset) {
@@ -127,10 +158,18 @@ void Window::put(ByteSpan src, int target, std::size_t offset) {
   std::memcpy(region.data() + offset, src.data(), src.size());
 
   auto& rt = comm_.runtime();
+  const double trace_t0 = comm_.clock().now();
   const double done = rt.network().rma_get_time(
       comm_.world_rank(), comm_.world_rank_of(target), src.size(),
       comm_.clock().now());
   comm_.clock().advance_to(done);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    args.bytes = static_cast<std::int64_t>(src.size());
+    tr->record(tracing::Category::Simmpi, "win_put", trace_t0,
+               comm_.clock().now(), args);
+  }
 }
 
 void Window::accumulate_add(std::span<const double> src, int target,
@@ -146,10 +185,18 @@ void Window::accumulate_add(std::span<const double> src, int target,
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
 
   auto& rt = comm_.runtime();
+  const double trace_t0 = comm_.clock().now();
   const double done = rt.network().rma_get_time(
       comm_.world_rank(), comm_.world_rank_of(target), bytes,
       comm_.clock().now());
   comm_.clock().advance_to(done);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    args.bytes = static_cast<std::int64_t>(bytes);
+    tr->record(tracing::Category::Simmpi, "win_accumulate", trace_t0,
+               comm_.clock().now(), args);
+  }
 }
 
 void Window::fence() {
@@ -157,7 +204,12 @@ void Window::fence() {
     DDS_CHECK_MSG(held_[t] == HeldLock::None,
                   "fence with an open lock epoch");
   }
+  const double trace_t0 = comm_.clock().now();
   comm_.sync_clocks(0);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tr->record(tracing::Category::Simmpi, "win_fence", trace_t0,
+               comm_.clock().now());
+  }
 }
 
 void Window::free() {

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/stats.hpp"
+#include "common/tracing/tracer.hpp"
 #include "graph/batch.hpp"
 #include "train/backend.hpp"
 #include "train/sampler.hpp"
@@ -28,19 +29,27 @@ class DataLoader {
   void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) {
     sampler_->begin_epoch(epoch, comm);
     backend_->epoch_start();
+    tracer_ = comm.tracer();
     step_ = 0;
   }
 
   /// Loads and collates the next batch; nullopt at epoch end.
   std::optional<graph::GraphBatch> next() {
     if (step_ >= sampler_->steps_per_epoch()) return std::nullopt;
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::Train, "sample", clock_->now());
+    }
     const auto ids = sampler_->batch_ids(step_++);
     std::vector<graph::GraphSample> samples;
     samples.reserve(ids.size());
-    for (const auto id : ids) {
-      const double t0 = clock_->now();
-      samples.push_back(backend_->load(id));
-      latencies_.add(clock_->now() - t0);
+    {
+      tracing::Span span(tracer_, *clock_, tracing::Category::Train,
+                         "load_batch");
+      for (const auto id : ids) {
+        const double t0 = clock_->now();
+        samples.push_back(backend_->load(id));
+        latencies_.add(clock_->now() - t0);
+      }
     }
     return graph::GraphBatch::collate(samples);
   }
@@ -53,6 +62,7 @@ class DataLoader {
   DataBackend* backend_;
   Sampler* sampler_;
   model::VirtualClock* clock_;
+  tracing::EventTracer* tracer_ = nullptr;  ///< set per-epoch from the comm
   LatencyRecorder latencies_;
   std::uint64_t step_ = 0;
 };
@@ -99,6 +109,7 @@ class PrefetchingLoader {
   void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) {
     sampler_->begin_epoch(epoch, comm);
     backend_->epoch_start();
+    tracer_ = comm.tracer();
     step_ = 0;
     ready_.clear();
   }
@@ -148,9 +159,18 @@ class PrefetchingLoader {
 
  private:
   graph::GraphBatch fetch_next() {
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::Train, "sample", clock_->now());
+    }
     const auto ids = sampler_->batch_ids(step_++);
     const double t0 = clock_->now();
-    const auto samples = backend_->load_batch(ids);
+    const auto samples = [&] {
+      // Refill fetches run inside the consumer's compute window, so this
+      // span is what makes prefetch overlap visible on the timeline.
+      tracing::Span span(tracer_, *clock_, tracing::Category::Train,
+                         "load_batch");
+      return backend_->load_batch(ids);
+    }();
     const double per_sample =
         (clock_->now() - t0) / static_cast<double>(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) latencies_.add(per_sample);
@@ -160,6 +180,7 @@ class PrefetchingLoader {
   DataBackend* backend_;
   Sampler* sampler_;
   model::VirtualClock* clock_;
+  tracing::EventTracer* tracer_ = nullptr;  ///< set per-epoch from the comm
   PrefetchConfig config_;
   LatencyRecorder latencies_;
   std::deque<graph::GraphBatch> ready_;

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "common/tracing/tracer.hpp"
+
 namespace dds::train {
 
 SimulatedTrainer::SimulatedTrainer(simmpi::Comm& comm, DataBackend& backend,
@@ -119,6 +121,9 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
 void SimulatedTrainer::run_steps_pipelined() {
   auto& clock = comm_.clock();
   auto& net = comm_.runtime().network();
+  // GPU phases record explicit [t0, t1]: the modeled GPU timeline runs
+  // ahead of the CPU clock, so their spans cannot come from RAII guards.
+  tracing::EventTracer* const tr = comm_.tracer();
 
   double gpu_free = clock.now();
   std::deque<double> gpu_done_history;
@@ -153,6 +158,9 @@ void SimulatedTrainer::run_steps_pipelined() {
     if (tracer_ != nullptr) {
       tracer_->record("DataLoader::load_batch", clock.now() - t_load0);
     }
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "load", t_load0, clock.now());
+    }
 
     // ---- CPU: collate ----
     const model::BatchShape shape{batch->num_graphs, batch->num_nodes,
@@ -163,6 +171,10 @@ void SimulatedTrainer::run_steps_pipelined() {
     profile_.add(Phase::Batch, t_batch);
     if (tracer_ != nullptr) tracer_->record("Batch::collate", t_batch);
     const double cpu_done = clock.now();
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "collate", cpu_done - t_batch,
+                 cpu_done);
+    }
 
     // ---- GPU: forward + backward (overlapped with CPU of later steps) ----
     const double gpu_start = std::max(gpu_free, cpu_done);
@@ -190,6 +202,18 @@ void SimulatedTrainer::run_steps_pipelined() {
       tracer_->record("MPI_Allreduce(gradients)", comm_end - gpu_done);
       tracer_->record("AdamW::step", t_opt);
     }
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "forward", gpu_start,
+                 gpu_start + fb / 3.0);
+      tr->record(tracing::Category::Train, "backward", gpu_start + fb / 3.0,
+                 gpu_done);
+      tracing::EventArgs comm_args;
+      comm_args.bytes = static_cast<std::int64_t>(grad_bytes_);
+      tr->record(tracing::Category::Train, "allreduce_grad", gpu_done,
+                 comm_end, comm_args);
+      tr->record(tracing::Category::Train, "optimizer", comm_end,
+                 comm_end + t_opt);
+    }
   }
 
   // The epoch ends when this rank's GPU pipeline drains.
@@ -199,6 +223,7 @@ void SimulatedTrainer::run_steps_pipelined() {
 void SimulatedTrainer::run_steps_prefetching() {
   auto& clock = comm_.clock();
   auto& net = comm_.runtime().network();
+  tracing::EventTracer* const tr = comm_.tracer();
   const std::uint64_t steps = sampler_->steps_per_epoch();
   const std::uint64_t nominal_batch_payload =
       sampler_->local_batch() * backend_->nominal_sample_bytes();
@@ -221,6 +246,9 @@ void SimulatedTrainer::run_steps_prefetching() {
     if (tracer_ != nullptr) {
       tracer_->record("PrefetchingLoader::next", clock.now() - t_load0);
     }
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "load", t_load0, clock.now());
+    }
 
     // ---- collate ----
     const model::BatchShape shape{batch->num_graphs, batch->num_nodes,
@@ -230,6 +258,10 @@ void SimulatedTrainer::run_steps_prefetching() {
     clock.advance(t_batch);
     profile_.add(Phase::Batch, t_batch);
     if (tracer_ != nullptr) tracer_->record("Batch::collate", t_batch);
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "collate", clock.now() - t_batch,
+                 clock.now());
+    }
 
     // ---- GPU forward+backward; the loader refills underneath ----
     const double fb = compute_.forward_backward_time(shape);
@@ -261,6 +293,18 @@ void SimulatedTrainer::run_steps_prefetching() {
       tracer_->record("Model::backward", 2.0 * fb / 3.0);
       tracer_->record("MPI_Allreduce(gradients)", comm_end - gpu_done);
       tracer_->record("AdamW::step", t_opt);
+    }
+    if (tr != nullptr) {
+      tr->record(tracing::Category::Train, "forward", t_fb0,
+                 t_fb0 + fb / 3.0);
+      tr->record(tracing::Category::Train, "backward", t_fb0 + fb / 3.0,
+                 t_fb0 + fb);
+      tracing::EventArgs comm_args;
+      comm_args.bytes = static_cast<std::int64_t>(grad_bytes_);
+      tr->record(tracing::Category::Train, "allreduce_grad", gpu_done,
+                 comm_end, comm_args);
+      tr->record(tracing::Category::Train, "optimizer", comm_end - t_opt,
+                 comm_end);
     }
   }
 }
