@@ -8,11 +8,21 @@
 // gets, so no injectable faults); wider stores expose more traffic to the
 // fault arms but give the fetch path cross-group twins to fail over to.
 //
+// A second section ablates the recovery mode when a rank dies outright:
+// "static_degraded" is the pre-elastic behavior (fetches fail over to the
+// twin forever, or fall back to the FS), while "elastic_rebuild" mounts an
+// ElasticDriver that detects the dead rank at the first epoch boundary,
+// rebuilds its chunk from the surviving twin group, and revives it — the
+// per-epoch resilience counters show how many epochs each mode spends
+// paying fault traffic.
+//
 // Output is a JSON array, one object per (width, rate) cell, so the sweep
 // can be diffed or plotted directly.
 #include <cstdio>
 
 #include "common/harness.hpp"
+#include "elastic/driver.hpp"
+#include "train/sampler.hpp"
 
 using namespace dds;
 using namespace dds::bench;
@@ -36,6 +46,85 @@ void print_cell(bool first, int width, int replicas, double rate,
       static_cast<unsigned long long>(total.failovers),
       static_cast<unsigned long long>(total.checksum_failures),
       static_cast<unsigned long long>(total.degraded_reads));
+}
+
+/// One dead-rank recovery cell: drains `epochs` full-dataset epochs at
+/// width 4 with rank 2 dead from the start, either leaving the store
+/// degraded (`rebuild` false) or mounting an ElasticDriver that rebuilds
+/// the chunk from the twin group at the first epoch boundary.  Prints the
+/// per-epoch fault-traffic counters (summed across ranks) and the number
+/// of epochs that still paid fault traffic.
+void elastic_recovery_cell(StagedData& data,
+                           const model::MachineConfig& machine, int nranks,
+                           bool rebuild) {
+  const int epochs = 4;
+  data.fs().reset_time_state();
+  simmpi::Runtime rt(nranks, machine, /*seed=*/42, /*deterministic=*/true);
+  faults::FaultConfig fc;
+  fc.dead_rank = 2;
+  fc.death_time_s = 0.0;
+  rt.set_fault_injector(std::make_shared<faults::FaultInjector>(fc, nranks));
+
+  std::vector<std::uint64_t> fault_traffic;  // per epoch, summed over ranks
+  std::uint64_t rebuilds = 0;
+  rt.run([&](simmpi::Comm& c) {
+    fs::FsClient client(data.fs(), machine.node_of_rank(c.world_rank()),
+                        c.clock(), c.rng());
+    core::DDStoreConfig cfg;
+    cfg.width = 4;
+    cfg.elastic = rebuild;
+    cfg.charge_replica_preload = false;
+    core::DDStore store(c, data.cff(), client, cfg);
+    std::unique_ptr<elastic::ElasticDriver> driver;
+    if (rebuild) {
+      elastic::ElasticConfig ecfg;
+      ecfg.adapt_width = false;  // isolate recovery from width adaptation
+      driver = std::make_unique<elastic::ElasticDriver>(store, ecfg);
+    }
+    train::GlobalShuffleSampler sampler(data.dataset().size(),
+                                        /*local_batch=*/32, /*seed=*/42);
+    c.clock().reset();
+    std::uint64_t prev = 0;
+    for (int e = 0; e < epochs; ++e) {
+      sampler.begin_epoch(static_cast<std::uint64_t>(e), c);
+      const double t0 = c.clock().now();
+      for (std::uint64_t step = 0; step < sampler.steps_per_epoch(); ++step) {
+        for (const std::uint64_t id : sampler.batch_ids(step)) {
+          (void)store.get(id);
+        }
+      }
+      c.barrier();
+      if (driver) driver->on_epoch_end(c.clock().now() - t0);
+      const auto s = store.stats();
+      const std::uint64_t mine =
+          s.retries + s.failovers + s.degraded_reads - prev;
+      prev = s.retries + s.failovers + s.degraded_reads;
+      std::uint64_t total = 0;
+      for (const std::uint64_t v : c.allgather_untimed(mine)) total += v;
+      if (c.rank() == 0) fault_traffic.push_back(total);
+    }
+    std::uint64_t my_rebuilds = store.stats().rank_rebuilds;
+    std::uint64_t all_rebuilds = 0;
+    for (const std::uint64_t v : c.allgather_untimed(my_rebuilds)) {
+      all_rebuilds += v;
+    }
+    if (c.rank() == 0) rebuilds = all_rebuilds;
+    store.fence();
+  });
+
+  int paying = 0;
+  for (const std::uint64_t v : fault_traffic) paying += v != 0 ? 1 : 0;
+  std::printf(",\n  {\"machine\": \"perlmutter\", \"scenario\": \"%s\", "
+              "\"width\": 4, \"replicas\": 2, \"dead_rank\": 2, "
+              "\"rebuilds\": %llu, \"epochs_paying_fault_traffic\": %d, "
+              "\"fault_traffic_per_epoch\": [",
+              rebuild ? "elastic_rebuild" : "static_degraded",
+              static_cast<unsigned long long>(rebuilds), paying);
+  for (std::size_t i = 0; i < fault_traffic.size(); ++i) {
+    std::printf("%s%llu", i ? ", " : "",
+                static_cast<unsigned long long>(fault_traffic[i]));
+  }
+  std::printf("]}");
 }
 
 }  // namespace
@@ -89,6 +178,12 @@ int main() {
       first = false;
     }
   }
+
+  // Recovery-mode ablation: the same dead rank, degraded forever vs
+  // rebuilt from its twin group at the first epoch boundary.
+  elastic_recovery_cell(data, machine, nranks, /*rebuild=*/false);
+  elastic_recovery_cell(data, machine, nranks, /*rebuild=*/true);
+
   std::printf("\n]\n");
   return 0;
 }

@@ -4,12 +4,14 @@
 //   1. stage a synthetic molecular dataset as a CFF container on the
 //      simulated parallel filesystem,
 //   2. bring up an 8-rank training job (simmpi runtime),
-//   3. build a DDStore with width 4 (two replica groups),
-//   4. pull globally-shuffled batches through the DataLoader facade,
-//   5. print per-rank fetch statistics,
+//   3. build a DDStore with width 4 (two replica groups), elastic mode on,
+//   4. pull globally-shuffled batches through the DataLoader facade while
+//      an ElasticDriver watches each epoch and live-reshards the store
+//      toward the cheapest width the memory budget allows,
+//   5. print per-rank fetch statistics and the width trajectory,
 //   6. export the merged span-level event trace as Chrome/Perfetto
 //      trace.json (open it at https://ui.perfetto.dev) plus a
-//      per-category rollup.
+//      per-category rollup (reshards show up as "elastic" spans).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include "common/tracing/export.hpp"
 #include "core/ddstore.hpp"
 #include "datagen/dataset.hpp"
+#include "elastic/driver.hpp"
 #include "formats/cff.hpp"
 #include "train/loader.hpp"
 
@@ -49,28 +52,44 @@ int main() {
     core::DDStoreConfig config;
     config.width = 4;  // two replica groups of four ranks each
     config.cache_capacity_bytes = 64ull << 20;  // per-rank hot-sample LRU
+    config.elastic = true;  // arms live resharding (adopt_layout et al.)
     core::DDStore store(world, reader, fs_client, config);
+
+    // The driver watches each epoch's fetch mix and walks the width down
+    // the divisor ladder while per-rank chunks still fit the budget (set
+    // here so the floor is width 2: more replicas, more local fetches).
+    elastic::ElasticConfig ecfg;
+    ecfg.memory_budget_per_rank =
+        store.num_samples() * store.nominal_sample_bytes() / 2 + 1;
+    elastic::ElasticDriver driver(store, ecfg);
 
     train::DDStoreBackend backend(store);
     train::GlobalShuffleSampler sampler(store.num_samples(),
                                         /*local_batch=*/32, /*seed=*/1);
     train::DataLoader loader(backend, sampler, world.clock());
 
-    for (std::uint64_t epoch = 0; epoch < 2; ++epoch) {
+    for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
       loader.begin_epoch(epoch, world);
+      const double t0 = world.clock().now();
       std::uint64_t graphs = 0, nodes = 0;
       while (const auto batch = loader.next()) {
         graphs += batch->num_graphs;
         nodes += batch->num_nodes;
       }
+      driver.on_epoch_end(world.clock().now() - t0);
       if (world.rank() == 0) {
         std::printf("epoch %llu: %llu graphs (%llu nodes) per rank, "
-                    "simulated time %.3f s\n",
+                    "width %d after epoch (%s), simulated time %.3f s\n",
                     static_cast<unsigned long long>(epoch),
                     static_cast<unsigned long long>(graphs),
-                    static_cast<unsigned long long>(nodes),
-                    world.clock().now());
+                    static_cast<unsigned long long>(nodes), store.width(),
+                    driver.last_reason(), world.clock().now());
       }
+    }
+    if (world.rank() == 0) {
+      std::printf("width trajectory:");
+      for (const int w : driver.width_trajectory()) std::printf(" %d", w);
+      std::printf("\n");
     }
 
     // --- 5. stats ----------------------------------------------------------

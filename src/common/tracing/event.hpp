@@ -23,9 +23,10 @@ enum class Category : std::uint8_t {
   Resilience,  ///< retries, backoff, failover, breaker trips, FS fallback
   Verify,      ///< checksum verification outcomes
   Train,       ///< trainer phases: sample, load, fwd/bwd, allreduce, opt
+  Elastic,     ///< reshard planning/execution, dead-rank chunk rebuilds
 };
 
-inline constexpr int kNumCategories = 7;
+inline constexpr int kNumCategories = 8;
 
 /// Stable lowercase name (used as the Chrome trace "cat" field and as the
 /// summary key — changing one invalidates committed perf baselines).
@@ -45,6 +46,8 @@ inline const char* category_name(Category c) {
       return "verify";
     case Category::Train:
       return "train";
+    case Category::Elastic:
+      return "elastic";
   }
   return "?";
 }

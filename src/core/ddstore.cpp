@@ -55,21 +55,21 @@ ChunkData preload_chunk(const formats::SampleReader& reader,
 DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
                  fs::FsClient& fs_client, const DDStoreConfig& config)
     : comm_(comm),
-      width_(config.width == 0 ? comm.size() : config.width),
       config_(config),
       nominal_sample_bytes_(reader.nominal_sample_bytes()) {
-  if (width_ < 1 || comm.size() % width_ != 0) {
-    throw ConfigError("DDStore width " + std::to_string(width_) +
+  const int width = config.width == 0 ? comm.size() : config.width;
+  if (width < 1 || comm.size() % width != 0) {
+    throw ConfigError("DDStore width " + std::to_string(width) +
                       " must divide the communicator size " +
                       std::to_string(comm.size()));
   }
   const std::uint64_t n = reader.num_samples();
-  const ChunkAssignment assignment(n, width_, config_.placement);
+  const ChunkAssignment assignment(n, width, config_.placement);
 
   // 1. Replica groups: w *consecutive* ranks per group (paper §3.1).
-  const int replica = comm.rank() / width_;
+  const int replica = comm.rank() / width;
   group_ = comm_.split(replica, comm.rank());
-  DDS_CHECK(group_.size() == width_);
+  DDS_CHECK(group_.size() == width);
   // Twins: ranks holding the same chunk across groups.
   simmpi::Comm twins = comm_.split(group_.rank(), comm.rank());
 
@@ -113,7 +113,9 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
 
   // 3. Data Registry: group 0 gathers chunk lengths and checksums to comm
   // rank 0, which builds the (globally identical) index once; everyone
-  // shares it.
+  // shares it.  The registry plus the replica-group arithmetic becomes the
+  // store's Layout — the chunk map the read path and the elastic planner
+  // both consult.
   std::vector<std::uint32_t> gathered;
   std::vector<std::uint64_t> gathered_sums;
   std::vector<std::size_t> counts;
@@ -123,12 +125,14 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
     gathered_sums = group_.gatherv(
         std::span<const std::uint64_t>(chunk_data->checksums), 0);
   }
-  registry_ = comm_.share<DataRegistry>(0, [&] {
-    return DataRegistry::build(assignment,
-                               std::span<const std::uint32_t>(gathered),
-                               std::span<const std::size_t>(counts),
-                               std::span<const std::uint64_t>(gathered_sums));
-  });
+  const std::shared_ptr<const DataRegistry> registry =
+      comm_.share<DataRegistry>(0, [&] {
+        return DataRegistry::build(
+            assignment, std::span<const std::uint32_t>(gathered),
+            std::span<const std::size_t>(counts),
+            std::span<const std::uint64_t>(gathered_sums));
+      });
+  layout_ = Layout(comm_.size(), width, config_.placement, registry);
 
   // 4. RMA registration (MPI_Win_create): chunks are read-only, so exposing
   // the shared buffer mutably is safe (only shared-lock gets touch it).
@@ -143,8 +147,48 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
 
   // 5. The read path: every get/get_batch from here on runs through the
   // staged FetchEngine, which registers its counters in a fixed order.
-  engine_.emplace(comm_, group_, *window_, *registry_, config_, reader,
-                  fs_client, width_, nominal_sample_bytes_, metrics_);
+  engine_.emplace(comm_, group_, *window_, layout_, config_, reader,
+                  fs_client, nominal_sample_bytes_, metrics_);
+
+  // 6. Elastic mode only: pre-register the reshard/rebuild counters so a
+  // later reshard never registers metrics mid-epoch (which would break the
+  // trainer's delta accounting).  Gated on the config flag so the default
+  // counter layout — and with it the committed CI perf baseline, which
+  // serializes every counter — is untouched.
+  if (config_.elastic) {
+    metrics_.counter("reshards");
+    metrics_.counter("reshard_pull_bytes");
+    metrics_.counter("reshard_keep_bytes");
+    metrics_.counter("rank_rebuilds");
+    metrics_.counter("rebuild_bytes");
+  }
+}
+
+void DDStore::adopt_layout(const Layout& to, std::optional<ByteBuffer> new_chunk) {
+  DDS_CHECK_MSG(config_.elastic, "adopt_layout requires DDStoreConfig::elastic");
+  DDS_CHECK_MSG(to.valid() && to.nranks() == comm_.size(),
+                "layout disagrees with the communicator");
+  DDS_CHECK_MSG(to.num_samples() == layout_.num_samples(),
+                "layout describes a different dataset");
+  // Epoch-boundary barrier: no rank may still be reading the old window.
+  comm_.barrier();
+  if (new_chunk.has_value()) {
+    // Post-reshard this rank owns its own buffer (twin aliasing was a
+    // construction-time memory optimization only).
+    chunk_ = std::make_shared<const ByteBuffer>(std::move(*new_chunk));
+  }
+  DDS_CHECK_MSG(chunk_->size() == to.chunk_bytes_of_rank(comm_.rank()),
+                "resident chunk disagrees with the adopted layout");
+  // The atomic swap: one value assignment while the engine's Layout
+  // pointer keeps its address.  Collective from here — every rank runs the
+  // identical sequence, so the split and the window registration stay in
+  // lockstep.
+  layout_ = to;
+  group_ = comm_.split(layout_.group_of(comm_.rank()), comm_.rank());
+  DDS_CHECK(group_.size() == layout_.width());
+  auto* mutable_bytes = const_cast<std::byte*>(chunk_->data());
+  window_.emplace(comm_, MutableByteSpan(mutable_bytes, chunk_->size()),
+                  chunk_);
 }
 
 const DDStoreStats& DDStore::stats() const {
@@ -170,6 +214,11 @@ const DDStoreStats& DDStore::stats() const {
   s.cache_misses = metrics_.counter_value("cache_misses");
   s.cache_evictions = metrics_.counter_value("cache_evictions");
   s.cache_hit_bytes = metrics_.counter_value("cache_hit_bytes");
+  s.reshards = metrics_.counter_value("reshards");
+  s.reshard_pull_bytes = metrics_.counter_value("reshard_pull_bytes");
+  s.reshard_keep_bytes = metrics_.counter_value("reshard_keep_bytes");
+  s.rank_rebuilds = metrics_.counter_value("rank_rebuilds");
+  s.rebuild_bytes = metrics_.counter_value("rebuild_bytes");
   s.preload_retries = metrics_.counter_value("preload_retries");
   s.preload_seconds = metrics_.gauge_value("preload_seconds");
   const LatencyRecorder* lat = metrics_.find_latency("sample_load_s");

@@ -10,7 +10,8 @@
 //      through a format plugin (PFF/CFF SampleReader) — the only time the
 //      parallel FS is touched;
 //   3. the Data Registry (sample -> owner/offset/length) is built
-//      collectively and shared;
+//      collectively and wrapped, with the replica-group arithmetic, into
+//      the store's Layout;
 //   4. each member registers its chunk in an RMA window (MPI_Win_create).
 //
 // The store owns construction and lifetime; every read after that is
@@ -19,10 +20,19 @@
 // All counters live in a per-rank MetricsRegistry; DDStoreStats is a
 // point-in-time view materialized by stats().
 //
+// Elasticity: with DDStoreConfig::elastic on, the width is no longer
+// frozen — src/elastic/ plans and executes a re-striping at an epoch
+// boundary and then calls adopt_layout(), which swaps the Layout value,
+// re-splits the replica-group comm, and re-registers the window in one
+// collective step.  The FetchEngine observes the new striping through its
+// stable Layout pointer; no engine rebuild, and the hot-sample cache stays
+// warm (its keys are sample ids, which never change).
+//
 // In-process memory note: replica groups hold identical chunk content, so
-// ranks with the same group-rank alias one physical buffer ("twins") —
-// a pure memory optimization for the single-process simulation; timing
-// still charges every group its own preload and RMA costs.
+// ranks with the same group-rank alias one physical buffer ("twins") at
+// construction — a pure memory optimization for the single-process
+// simulation; timing still charges every group its own preload and RMA
+// costs.  After a reshard each rank owns its own (rebuilt) buffer.
 #pragma once
 
 #include <memory>
@@ -30,6 +40,7 @@
 
 #include "common/metrics.hpp"
 #include "core/fetch/engine.hpp"
+#include "core/layout.hpp"
 #include "core/store_config.hpp"
 
 namespace dds::core {
@@ -44,17 +55,15 @@ class DDStore {
   DDStore(const DDStore&) = delete;
   DDStore& operator=(const DDStore&) = delete;
 
-  std::uint64_t num_samples() const { return registry_->num_samples(); }
+  std::uint64_t num_samples() const { return layout_.num_samples(); }
   std::uint64_t nominal_sample_bytes() const { return nominal_sample_bytes_; }
-  int width() const { return width_; }
-  int num_replicas() const { return comm_.size() / width_; }
+  int width() const { return layout_.width(); }
+  int num_replicas() const { return layout_.num_groups(); }
   int group_rank() const { return group_.rank(); }
-  int replica_index() const { return comm_.rank() / width_; }
+  int replica_index() const { return layout_.group_of(comm_.rank()); }
 
   /// Owner (group rank) of a sample — a registry lookup.
-  int owner_of(std::uint64_t id) const {
-    return static_cast<int>(registry_->lookup(id).owner);
-  }
+  int owner_of(std::uint64_t id) const { return layout_.owner_of(id); }
   bool is_local(std::uint64_t id) const {
     return owner_of(id) == group_.rank();
   }
@@ -92,38 +101,52 @@ class DDStore {
 
   /// The per-rank metrics registry every fetch counter lives in.
   const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
 
   /// The Cache stage's LRU (read-only; capacity 0 means disabled).
   const fetch::SampleCache& sample_cache() const { return engine_->cache(); }
 
+  simmpi::Comm& comm() { return comm_; }
   simmpi::Comm& group() { return group_; }
-  const DataRegistry& registry() const { return *registry_; }
+  const DDStoreConfig& config() const { return config_; }
 
-  /// Diagnostics: the RMA region a member of this rank's replica group
-  /// exposes (`target` is a group rank, as before the window moved to the
-  /// full communicator).
-  const void* window_region(int target) const {
-    return window_->region_data(primary_target(target));
-  }
-  std::size_t window_size(int target) const {
-    return window_->size_of(primary_target(target));
+  /// The current striping: owner-of-sample, chunk ranges, replica-group
+  /// membership.  The reference stays valid across reshards (the value is
+  /// swapped in place); copy it to pin one epoch's striping.
+  const Layout& layout() const { return layout_; }
+  const DataRegistry& registry() const { return layout_.registry(); }
+
+  // ---- elastic hooks (require DDStoreConfig::elastic) -------------------
+
+  /// The comm-spanning RMA window (reshard executors read source chunks
+  /// through it) and this rank's resident chunk bytes.
+  simmpi::Window& rma_window() { return *window_; }
+  ByteSpan chunk_span() const { return ByteSpan(*chunk_); }
+
+  /// Collective atomic layout swap, called by the elastic executor at an
+  /// epoch boundary with no fetch in flight: installs this rank's new
+  /// chunk (when `new_chunk` is set), assigns the Layout value, re-splits
+  /// the replica-group comm, and re-registers the RMA window over the new
+  /// chunks.  The FetchEngine's context pointers (layout, group, window
+  /// storage) all keep their addresses, so the read path simply observes
+  /// the new striping on its next fetch — no torn state is ever visible.
+  void adopt_layout(const Layout& to, std::optional<ByteBuffer> new_chunk);
+
+  /// Resilience breaker state for a comm-rank target (the elastic driver's
+  /// fault-suspicion signal and its post-rebuild reset).
+  bool breaker_open(int target) const { return engine_->breaker_open(target); }
+  void reset_target_health(int target) {
+    engine_->reset_target_health(target);
   }
 
  private:
-  /// Comm rank of the member of *this rank's* replica group that owns
-  /// group-rank `owner`'s chunk — the first target every fetch tries.
-  int primary_target(int owner) const {
-    return replica_index() * width_ + owner;
-  }
-
   simmpi::Comm comm_;    ///< the full training communicator
   simmpi::Comm group_;   ///< this rank's replica group
-  int width_;
   DDStoreConfig config_;
   std::uint64_t nominal_sample_bytes_;
 
+  Layout layout_;  ///< current striping; swapped in place by adopt_layout
   std::shared_ptr<const ByteBuffer> chunk_;  ///< aliased across twin ranks
-  std::shared_ptr<const DataRegistry> registry_;
   std::optional<simmpi::Window> window_;  ///< over comm_: all replicas addressable
 
   MetricsRegistry metrics_;

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/metrics.hpp"
+#include "core/layout.hpp"
 #include "core/store_config.hpp"
 #include "fs/parallel_fs.hpp"
 #include "simmpi/window.hpp"
@@ -74,25 +75,32 @@ struct FetchMetrics {
 
 /// Everything a fetch stage may consult.  All pointers are non-owning and
 /// outlive the engine (they point into the DDStore that built it).
+///
+/// The chunk map comes through `layout` — a pointer to the store's
+/// *current* Layout value.  An elastic reshard swaps the store's Layout
+/// (and re-splits its group comm) atomically at an epoch boundary; the
+/// pointer stays stable, so stages re-read the new striping on their next
+/// fetch without being rebuilt.
 struct FetchContext {
   simmpi::Comm* comm = nullptr;   ///< the full training communicator
   simmpi::Comm* group = nullptr;  ///< this rank's replica group
   simmpi::Window* window = nullptr;
-  const DataRegistry* registry = nullptr;
+  const Layout* layout = nullptr;  ///< current striping (owner/offset/width)
   const DDStoreConfig* config = nullptr;
   const formats::SampleReader* reader = nullptr;  ///< degraded-mode FS reads
   fs::FsClient* fs_client = nullptr;
   FetchMetrics* metrics = nullptr;
-  int width = 1;
   std::uint64_t nominal_sample_bytes = 0;
 
-  int replica_index() const { return comm->rank() / width; }
-  int num_replicas() const { return comm->size() / width; }
+  const DataRegistry& registry() const { return layout->registry(); }
+  int width() const { return layout->width(); }
+  int replica_index() const { return layout->group_of(comm->rank()); }
+  int num_replicas() const { return layout->num_groups(); }
 
   /// Comm rank of the member of *this rank's* replica group that owns
   /// group-rank `owner`'s chunk — the first target every fetch tries.
   int primary_target(int owner) const {
-    return replica_index() * width + owner;
+    return layout->primary_target(comm->rank(), owner);
   }
 
   model::VirtualClock& clock() const { return comm->clock(); }

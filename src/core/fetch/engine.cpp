@@ -9,15 +9,15 @@
 namespace dds::core::fetch {
 
 FetchEngine::FetchEngine(simmpi::Comm& comm, simmpi::Comm& group,
-                         simmpi::Window& window, const DataRegistry& registry,
+                         simmpi::Window& window, const Layout& layout,
                          const DDStoreConfig& config,
                          const formats::SampleReader& reader,
-                         fs::FsClient& fs_client, int width,
+                         fs::FsClient& fs_client,
                          std::uint64_t nominal_sample_bytes,
                          MetricsRegistry& metrics)
     : metrics_(metrics),
-      ctx_{&comm, &group, &window, &registry, &config, &reader, &fs_client,
-           &metrics_, width, nominal_sample_bytes},
+      ctx_{&comm, &group, &window, &layout, &config, &reader, &fs_client,
+           &metrics_, nominal_sample_bytes},
       decode_(config.decode),
       cache_(config.cache_capacity_bytes),
       transport_(ctx_),
@@ -39,7 +39,7 @@ void FetchEngine::admit(std::uint64_t id, ByteSpan bytes) {
 }
 
 ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
-  const auto& entry = ctx_.registry->lookup(id);
+  const auto& entry = ctx_.registry().lookup(id);
   if (cache_.enabled()) {
     // Cache stage first: a hit never takes a lock epoch, consumes no retry
     // budget, and touches no target's breaker (see DESIGN.md invariant).
@@ -69,7 +69,7 @@ ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
 
 void FetchEngine::fetch_into(std::uint64_t id, MutableByteSpan dst,
                              bool locked, bool lock_amortized) {
-  const auto& entry = ctx_.registry->lookup(id);
+  const auto& entry = ctx_.registry().lookup(id);
   const int owner = static_cast<int>(entry.owner);
   DDS_CHECK(dst.size() == entry.length);
   auto& comm = *ctx_.comm;
@@ -198,10 +198,10 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
   const FetchPlan plan =
       cache_.enabled()
           ? plan_batch_fetch(
-                *ctx_.registry, ids,
+                ctx_.registry(), ids,
                 [this](std::uint64_t id) { return cache_.contains(id); },
                 &cached)
-          : plan_batch_fetch(*ctx_.registry, ids);
+          : plan_batch_fetch(ctx_.registry(), ids);
   plan_span->args().bytes = static_cast<std::int64_t>(plan.total_bytes());
   plan_span.reset();
   std::vector<graph::GraphSample> out(ids.size());
@@ -243,7 +243,7 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
         (clock.now() - t0) / static_cast<double>(tp.samples.size());
     bool fell_back = false;
     for (const PlannedSample& s : tp.samples) {
-      const auto& entry = ctx_.registry->lookup(s.id);
+      const auto& entry = ctx_.registry().lookup(s.id);
       const ByteSpan view(staging.data() + s.staging_offset, s.length);
       if (delivered && resilience_.payload_intact(entry, view)) {
         if (tp.owner == ctx_.group->rank()) {

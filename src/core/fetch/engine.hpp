@@ -32,14 +32,15 @@ namespace dds::core::fetch {
 class FetchEngine {
  public:
   /// All references must outlive the engine (they belong to the DDStore
-  /// that builds it).  Registers the fetch metrics in `metrics` — every
-  /// rank constructs its engine the same way, so registry layouts match
-  /// across ranks.
+  /// that builds it).  `layout` is the store's current Layout *value
+  /// member*: an elastic reshard assigns a new Layout in place, so the
+  /// engine observes the new striping through the same address.  Registers
+  /// the fetch metrics in `metrics` — every rank constructs its engine the
+  /// same way, so registry layouts match across ranks.
   FetchEngine(simmpi::Comm& comm, simmpi::Comm& group, simmpi::Window& window,
-              const DataRegistry& registry, const DDStoreConfig& config,
+              const Layout& layout, const DDStoreConfig& config,
               const formats::SampleReader& reader, fs::FsClient& fs_client,
-              int width, std::uint64_t nominal_sample_bytes,
-              MetricsRegistry& metrics);
+              std::uint64_t nominal_sample_bytes, MetricsRegistry& metrics);
 
   FetchEngine(const FetchEngine&) = delete;
   FetchEngine& operator=(const FetchEngine&) = delete;
@@ -57,6 +58,11 @@ class FetchEngine {
   std::vector<graph::GraphSample> get_batch(std::span<const std::uint64_t> ids);
 
   const SampleCache& cache() const { return cache_; }
+
+  /// Resilience-stage breaker state for one comm-rank target (the elastic
+  /// driver's fault-suspect signal and its post-rebuild reset).
+  bool breaker_open(int target) const { return resilience_.breaker_open(target); }
+  void reset_target_health(int target) { resilience_.reset_target(target); }
 
  private:
   void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,

@@ -38,7 +38,7 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
     // Candidate order: own group first, then sibling groups' twins in a
     // deterministic rotation starting from this rank's replica index.
     const int target =
-        ((ctx_->replica_index() + hop) % replicas) * ctx_->width + owner;
+        ctx_->layout->holder((ctx_->replica_index() + hop) % replicas, owner);
     TargetHealth& health = health_[static_cast<std::size_t>(target)];
     if (health.skip_remaining > 0) {
       // Breaker open: don't hammer a target that just failed repeatedly.

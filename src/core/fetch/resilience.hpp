@@ -39,6 +39,19 @@ class ResilienceStage {
   /// checksum failure when it lies.
   bool payload_intact(const DataRegistry::Entry& entry, ByteSpan dst);
 
+  /// True while `target`'s circuit breaker is open (cooldown skips left).
+  /// The elastic driver reads this as its dead-rank suspicion signal.
+  bool breaker_open(int target) const {
+    return health_.at(static_cast<std::size_t>(target)).skip_remaining > 0;
+  }
+
+  /// Forgets `target`'s failure history — called after the elastic
+  /// fault-recovery hook rebuilds a revived rank's chunk, so fetches
+  /// resume trying it immediately instead of waiting out the cooldown.
+  void reset_target(int target) {
+    health_.at(static_cast<std::size_t>(target)) = TargetHealth{};
+  }
+
  private:
   /// Per-target (comm rank) circuit-breaker state, local to this rank.
   struct TargetHealth {

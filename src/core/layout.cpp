@@ -1,0 +1,59 @@
+#include "core/layout.hpp"
+
+#include <string>
+#include <vector>
+
+namespace dds::core {
+
+Layout::Layout(int nranks, int width, Placement placement,
+               std::shared_ptr<const DataRegistry> registry)
+    : nranks_(nranks),
+      width_(width),
+      placement_(placement),
+      registry_(std::move(registry)) {
+  DDS_CHECK_MSG(registry_ != nullptr, "layout requires a registry");
+  if (width_ < 1 || nranks_ < 1 || nranks_ % width_ != 0) {
+    throw ConfigError("layout width " + std::to_string(width_) +
+                      " must divide the communicator size " +
+                      std::to_string(nranks_));
+  }
+}
+
+Layout Layout::with_width(int new_width) const {
+  DDS_CHECK_MSG(valid(), "with_width on an empty layout");
+  if (new_width < 1 || nranks_ % new_width != 0) {
+    throw ConfigError("target width " + std::to_string(new_width) +
+                      " must divide the communicator size " +
+                      std::to_string(nranks_));
+  }
+  const DataRegistry& old = registry();
+  const ChunkAssignment target(old.num_samples(), new_width, placement_);
+
+  // Lengths and checksums in the *new* owner order, read straight out of
+  // the old registry — both are placement-independent per-sample facts.
+  std::vector<std::uint32_t> lengths;
+  std::vector<std::uint64_t> checksums;
+  std::vector<std::size_t> counts;
+  lengths.reserve(old.num_samples());
+  checksums.reserve(old.num_samples());
+  counts.reserve(static_cast<std::size_t>(new_width));
+  bool any_checksum = false;
+  for (int g = 0; g < new_width; ++g) {
+    const auto ids = target.ids_of(g);
+    counts.push_back(ids.size());
+    for (const std::uint64_t id : ids) {
+      const DataRegistry::Entry& e = old.lookup(id);
+      lengths.push_back(e.length);
+      checksums.push_back(e.checksum);
+      any_checksum = any_checksum || e.checksum != 0;
+    }
+  }
+  auto reg = DataRegistry::build(
+      target, std::span<const std::uint32_t>(lengths),
+      std::span<const std::size_t>(counts),
+      any_checksum ? std::span<const std::uint64_t>(checksums)
+                   : std::span<const std::uint64_t>{});
+  return Layout(nranks_, new_width, placement_, std::move(reg));
+}
+
+}  // namespace dds::core

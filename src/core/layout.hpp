@@ -1,0 +1,99 @@
+// Layout: the first-class description of how a dataset is striped over a
+// communicator at one replica-group width.
+//
+// Before the elastic subsystem, the "chunk map" lived in three places at
+// once: the ChunkAssignment arithmetic, the DataRegistry index, and the
+// width/replica math duplicated across DDStore and FetchContext.  Layout
+// bundles all three behind one immutable value — owner-of-sample, chunk
+// byte ranges, and replica-group membership — consumed by the read path
+// (FetchContext points at the store's current Layout) and by the elastic
+// reshard planner (which diffs two Layouts to compute minimal movement).
+//
+// A Layout is cheap to copy (the registry is shared immutable state), and
+// with_width() derives the re-striped Layout for a new width *purely
+// locally*: sample lengths and checksums are globally known through the
+// old registry, so no communication is needed to know where every byte of
+// the new striping belongs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/registry.hpp"
+
+namespace dds::core {
+
+class Layout {
+ public:
+  /// Default-constructed Layouts are placeholders (a DDStore member before
+  /// construction finishes); every accessor below requires a valid one.
+  Layout() = default;
+
+  Layout(int nranks, int width, Placement placement,
+         std::shared_ptr<const DataRegistry> registry);
+
+  bool valid() const { return registry_ != nullptr; }
+
+  int nranks() const { return nranks_; }
+  int width() const { return width_; }
+  Placement placement() const { return placement_; }
+  int num_groups() const { return nranks_ / width_; }
+
+  // ---- replica-group membership (comm-rank arithmetic) ------------------
+
+  /// Replica group of comm rank `rank` (groups are w consecutive ranks).
+  int group_of(int rank) const { return rank / width_; }
+  /// Group rank (chunk index) of comm rank `rank` within its group.
+  int group_rank_of(int rank) const { return rank % width_; }
+  /// Comm rank holding chunk `owner` inside replica group `replica`.
+  int holder(int replica, int owner) const {
+    return replica * width_ + owner;
+  }
+  /// Comm rank of the member of `origin`'s own replica group that holds
+  /// chunk `owner` — the first target every fetch tries.
+  int primary_target(int origin, int owner) const {
+    return holder(group_of(origin), owner);
+  }
+
+  // ---- chunk map (registry-backed) --------------------------------------
+
+  const DataRegistry& registry() const {
+    DDS_CHECK_MSG(registry_ != nullptr, "layout has no registry");
+    return *registry_;
+  }
+  const std::shared_ptr<const DataRegistry>& registry_ptr() const {
+    return registry_;
+  }
+
+  std::uint64_t num_samples() const { return registry().num_samples(); }
+  int owner_of(std::uint64_t id) const {
+    return static_cast<int>(registry().lookup(id).owner);
+  }
+  std::uint64_t chunk_bytes(int owner) const {
+    return registry().chunk_bytes(owner);
+  }
+  /// Chunk bytes held by comm rank `rank` (its group rank's chunk).
+  std::uint64_t chunk_bytes_of_rank(int rank) const {
+    return registry().chunk_bytes(group_rank_of(rank));
+  }
+
+  /// The pure placement function at this width (derived on demand — the
+  /// registry already materializes it, but planners want the arithmetic).
+  ChunkAssignment assignment() const {
+    return ChunkAssignment(registry().num_samples(), width_, placement_);
+  }
+
+  /// Derives the Layout for the same dataset re-striped at `new_width`.
+  /// Pure and local: per-sample lengths and checksums are read from this
+  /// layout's registry, so every rank computes the identical result with
+  /// no communication.  `new_width` must divide nranks().
+  Layout with_width(int new_width) const;
+
+ private:
+  int nranks_ = 0;
+  int width_ = 1;
+  Placement placement_ = Placement::Block;
+  std::shared_ptr<const DataRegistry> registry_;
+};
+
+}  // namespace dds::core

@@ -94,6 +94,12 @@ struct DDStoreConfig {
   /// nominal bytes / memcpy bandwidth) and never touch the transport,
   /// retry budget, or circuit breakers.
   std::uint64_t cache_capacity_bytes = 0;
+  /// Arms the elastic hooks (src/elastic/): adopt_layout() becomes legal
+  /// and the reshard/rebuild counters are registered at construction.
+  /// Off by default so the store's counter layout — and the committed CI
+  /// perf baseline that serializes it — is byte-identical to the static
+  /// store.
+  bool elastic = false;
 };
 
 /// A point-in-time view over the store's MetricsRegistry, materialized by
@@ -140,6 +146,13 @@ struct DDStoreStats {
   std::uint64_t cache_misses = 0;     ///< unique lookups that went to fetch
   std::uint64_t cache_evictions = 0;  ///< entries displaced by inserts
   std::uint64_t cache_hit_bytes = 0;  ///< actual payload bytes served hot
+
+  // Elastic counters (all zero unless DDStoreConfig::elastic is on).
+  std::uint64_t reshards = 0;            ///< adopted layout swaps
+  std::uint64_t reshard_pull_bytes = 0;  ///< bytes pulled from remote chunks
+  std::uint64_t reshard_keep_bytes = 0;  ///< bytes reused from the old chunk
+  std::uint64_t rank_rebuilds = 0;       ///< dead-rank chunks rebuilt
+  std::uint64_t rebuild_bytes = 0;       ///< bytes re-hosted by rebuilds
 
   // Preload facts: set once at construction, preserved by reset_stats()
   // (epoch-boundary resets must not erase what construction cost).

@@ -13,8 +13,19 @@
 
 namespace dds::core {
 
-inline int suggest_width(std::uint64_t dataset_bytes,
-                         std::uint64_t memory_budget_per_rank, int nranks) {
+/// The advised width plus the facts a tuner (or the adaptive controller's
+/// operator) wants alongside it: how many replica groups that width buys
+/// and how much of the memory budget each rank has left.
+struct WidthSuggestion {
+  int width = 0;
+  int replicas = 0;  ///< replica groups at this width (nranks / width)
+  std::uint64_t chunk_bytes_per_rank = 0;  ///< ceil(dataset_bytes / width)
+  std::uint64_t headroom_bytes = 0;        ///< budget - chunk_bytes_per_rank
+};
+
+inline WidthSuggestion suggest_width_ex(std::uint64_t dataset_bytes,
+                                        std::uint64_t memory_budget_per_rank,
+                                        int nranks) {
   DDS_CHECK(nranks >= 1);
   if (memory_budget_per_rank == 0) {
     throw ConfigError("suggest_width: zero memory budget");
@@ -27,11 +38,26 @@ inline int suggest_width(std::uint64_t dataset_bytes,
         "suggest_width: dataset does not fit even with a single replica "
         "striped over all ranks");
   }
+  int width = nranks;
   for (int w = 1; w <= nranks; ++w) {
     if (nranks % w != 0) continue;
-    if (static_cast<std::uint64_t>(w) >= min_width) return w;
+    if (static_cast<std::uint64_t>(w) >= min_width) {
+      width = w;
+      break;
+    }
   }
-  return nranks;  // unreachable: nranks itself always qualifies
+  WidthSuggestion s;
+  s.width = width;
+  s.replicas = nranks / width;
+  const std::uint64_t w64 = static_cast<std::uint64_t>(width);
+  s.chunk_bytes_per_rank = (dataset_bytes + w64 - 1) / w64;
+  s.headroom_bytes = memory_budget_per_rank - s.chunk_bytes_per_rank;
+  return s;
+}
+
+inline int suggest_width(std::uint64_t dataset_bytes,
+                         std::uint64_t memory_budget_per_rank, int nranks) {
+  return suggest_width_ex(dataset_bytes, memory_budget_per_rank, nranks).width;
 }
 
 }  // namespace dds::core

@@ -1,0 +1,97 @@
+#include "elastic/controller.hpp"
+
+namespace dds::elastic {
+
+AdaptiveWidthController::AdaptiveWidthController(int nranks,
+                                                std::uint64_t dataset_bytes,
+                                                WidthControllerConfig config)
+    : nranks_(nranks), dataset_bytes_(dataset_bytes), config_(config) {
+  DDS_CHECK_MSG(nranks_ >= 1, "controller needs at least one rank");
+  DDS_CHECK_MSG(config_.amortize_epochs >= 1, "amortize_epochs must be >= 1");
+}
+
+bool AdaptiveWidthController::fits_budget(int width) const {
+  if (config_.memory_budget_per_rank == 0) return true;
+  const std::uint64_t w = static_cast<std::uint64_t>(width);
+  const std::uint64_t chunk = (dataset_bytes_ + w - 1) / w;
+  return chunk <= config_.memory_budget_per_rank;
+}
+
+int AdaptiveWidthController::next_down(int width) const {
+  for (int w = width - 1; w >= 1; --w) {
+    if (nranks_ % w == 0 && fits_budget(w)) return w;
+  }
+  return width;
+}
+
+int AdaptiveWidthController::next_up(int width) const {
+  for (int w = width + 1; w <= nranks_; ++w) {
+    if (nranks_ % w == 0) return w;
+  }
+  return width;
+}
+
+AdaptiveWidthController::Decision AdaptiveWidthController::on_epoch(
+    int current_width, const WidthObservation& obs, double cost_down_s) {
+  // Hard constraint first: memory budget violations force a step up even
+  // when the controller has settled.
+  if (!fits_budget(current_width)) {
+    int target = current_width;
+    while (target < nranks_ && !fits_budget(target)) target = next_up(target);
+    pending_validation_ = false;
+    if (!fits_budget(target)) return {current_width, "budget_infeasible"};
+    return {target, "budget_up"};
+  }
+
+  if (pending_validation_) {
+    pending_validation_ = false;
+    const double limit =
+        baseline_epoch_seconds_ * (1.0 + config_.step_tolerance);
+    if (obs.epoch_seconds > limit) {
+      // The model promised a saving the measurement refutes: undo the step
+      // and stop exploring.
+      settled_ = true;
+      return {prev_width_, "revert"};
+    }
+    // Step accepted; the new width's measurement becomes the baseline for
+    // the next exploration below.
+  }
+
+  if (settled_) return {current_width, "settled"};
+
+  const int down = next_down(current_width);
+  if (down == current_width) {
+    // Bottom of the feasible ladder — nowhere left to go.
+    settled_ = true;
+    return {current_width, "settled"};
+  }
+
+  // Modeled per-epoch saving of the step: the remote share of fetch time
+  // shrinks as the local fraction grows from 1/w to 1/d.
+  const std::uint64_t gets = obs.local_gets + obs.remote_gets;
+  const double remote_fraction =
+      gets == 0 ? 0.0
+                : static_cast<double>(obs.remote_gets) /
+                      static_cast<double>(gets);
+  const double remote_time = obs.fetch_seconds * remote_fraction;
+  const double w = static_cast<double>(current_width);
+  const double d = static_cast<double>(down);
+  const double saving_per_epoch =
+      current_width <= 1
+          ? 0.0
+          : remote_time * (1.0 / d - 1.0 / w) / (1.0 - 1.0 / w);
+
+  if (saving_per_epoch * static_cast<double>(config_.amortize_epochs) >
+      cost_down_s) {
+    pending_validation_ = true;
+    prev_width_ = current_width;
+    baseline_epoch_seconds_ = obs.epoch_seconds;
+    return {down, "step_down"};
+  }
+
+  // No profitable step remains at the measured signal level.
+  settled_ = true;
+  return {current_width, "settled"};
+}
+
+}  // namespace dds::elastic

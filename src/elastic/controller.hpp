@@ -1,0 +1,102 @@
+// AdaptiveWidthController: decides, at each epoch boundary, whether the
+// store's replica-group width should move one divisor step.
+//
+// The control law is a guarded hill climb on the width ladder (the
+// divisors of nranks):
+//   * the memory budget is a hard constraint — a width whose chunk does
+//     not fit per-rank memory is stepped *up* immediately, cost ignored;
+//   * otherwise the controller models the benefit of one step *down*
+//     (more replicas => a larger fraction of fetches turn local): with
+//     remote fetch time R at width w, a step to width d saves roughly
+//     R * (1/d - 1/w) / (1 - 1/w) per epoch.  It steps when that saving,
+//     amortized over `amortize_epochs`, exceeds the modeled reshard cost;
+//   * every step is validated against the measured epoch time at the old
+//     width — a regression beyond `step_tolerance` reverts the step and
+//     settles the controller (model distrust beats oscillation).
+//
+// The controller is pure and deterministic: it sees only numbers (an
+// observation per epoch plus a modeled step cost) and returns a target
+// width.  All ranks feeding it identical aggregated observations reach
+// identical decisions, which keeps the reshard collective without any
+// leader election.  On a uniform workload it therefore converges to the
+// smallest budget-feasible divisor — the same width core::suggest_width
+// computes statically and the width sweep measures as optimal.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dds::elastic {
+
+/// One epoch's aggregated (cross-rank summed) signals.
+struct WidthObservation {
+  double epoch_seconds = 0.0;  ///< slowest rank's wall time for the epoch
+  double fetch_seconds = 0.0;  ///< summed per-sample load latencies
+  std::uint64_t local_gets = 0;
+  std::uint64_t remote_gets = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+struct WidthControllerConfig {
+  /// Per-rank chunk memory budget in nominal bytes (0 = unlimited).  Widths
+  /// whose chunk exceeds it are infeasible; the budget can force the width
+  /// up but never blocks a revert.
+  std::uint64_t memory_budget_per_rank = 0;
+  /// Epochs a reshard's cost is amortized over when weighed against the
+  /// modeled per-epoch saving of a step down.
+  int amortize_epochs = 4;
+  /// Fractional epoch-time regression tolerated before a step is reverted.
+  double step_tolerance = 0.02;
+};
+
+class AdaptiveWidthController {
+ public:
+  /// What on_epoch decided and why.  `target_width == current` means hold.
+  struct Decision {
+    int target_width = 0;
+    /// "hold", "settled", "step_down", "budget_up", "revert", or
+    /// "budget_infeasible" (no divisor fits; the controller holds).
+    const char* reason = "hold";
+  };
+
+  /// `dataset_bytes` at nominal (paper) scale — the basis of the memory
+  /// feasibility test, matching core::suggest_width.
+  AdaptiveWidthController(int nranks, std::uint64_t dataset_bytes,
+                          WidthControllerConfig config);
+
+  /// One decision per epoch.  `cost_down_s` is the modeled cost of
+  /// resharding to next_down(current_width) (ignored when no step down
+  /// exists or the budget forces a step up).
+  Decision on_epoch(int current_width, const WidthObservation& obs,
+                    double cost_down_s);
+
+  /// True once the controller has stopped exploring (no profitable step
+  /// remains, or a step was reverted).
+  bool converged() const { return settled_; }
+
+  // ---- width-ladder helpers (exposed for tests and suggest tooling) -----
+
+  /// Chunk bytes per rank at `width` fit the memory budget (always true
+  /// with budget 0).
+  bool fits_budget(int width) const;
+  /// Largest budget-feasible divisor of nranks below `width`, or `width`
+  /// when none exists (the ladder's bottom).
+  int next_down(int width) const;
+  /// Smallest divisor of nranks above `width`, or `width` at the top.
+  int next_up(int width) const;
+
+ private:
+  int nranks_;
+  std::uint64_t dataset_bytes_;
+  WidthControllerConfig config_;
+
+  bool settled_ = false;
+  /// A step down executed last epoch awaits validation against this
+  /// baseline (the measured epoch time at `prev_width_`).
+  bool pending_validation_ = false;
+  int prev_width_ = 0;
+  double baseline_epoch_seconds_ = 0.0;
+};
+
+}  // namespace dds::elastic

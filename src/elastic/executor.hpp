@@ -1,0 +1,38 @@
+// Reshard execution: applies a plan over the live store.
+//
+// Both entry points are collective over the store's communicator and must
+// be called at an epoch boundary (no fetch in flight on any rank) — the
+// same contract DDStore::adopt_layout enforces with its leading barrier.
+// Execution moves real bytes through the store's RMA window under shared
+// locks, charges virtual time at nominal (paper-scale) byte counts, and
+// traces every transfer as an `elastic` span; faults are handled by the
+// caller *excluding* dead sources from the plan, not by injection at this
+// layer.  The final adopt_layout() swaps the Layout, re-splits the replica
+// group, and re-registers the window in one step, so readers never observe
+// a torn layout.
+#pragma once
+
+#include <span>
+
+#include "core/ddstore.hpp"
+#include "elastic/plan.hpp"
+
+namespace dds::elastic {
+
+/// Collective: re-stripes the store to `new_width` (which must divide the
+/// communicator size).  Computes the minimal-movement plan, executes this
+/// rank's keeps (local memcpy) and pulls (vectored RMA gets from the old
+/// layout's holders, skipping `excluded_sources`), then atomically adopts
+/// the new layout.  A same-width call is a no-op.  Returns the executed
+/// plan (empty `ranks` on the no-op path) for cost reporting.
+ReshardPlan reshard(core::DDStore& store, int new_width,
+                    std::span<const int> excluded_sources = {});
+
+/// Collective fault-recovery hook: rebuilds `dead_rank`'s chunk by pulling
+/// it from the nearest surviving twin replica group, then re-registers the
+/// RMA window so every rank sees the re-hosted chunk.  The width does not
+/// change.  Throws IoError when no sibling group survives (the store then
+/// stays in degraded mode).  Returns the executed plan.
+ReshardPlan rebuild_rank(core::DDStore& store, int dead_rank);
+
+}  // namespace dds::elastic

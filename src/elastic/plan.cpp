@@ -1,0 +1,175 @@
+#include "elastic/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace dds::elastic {
+
+namespace {
+
+/// Appends (src, dst, length) to `segments`, merging with the previous
+/// segment when both offsets continue contiguously.
+void append_merged(std::vector<CopySegment>& segments, std::uint64_t src,
+                   std::uint64_t dst, std::uint64_t length) {
+  if (!segments.empty()) {
+    CopySegment& prev = segments.back();
+    if (prev.src_offset + prev.length == src &&
+        prev.dst_offset + prev.length == dst) {
+      prev.length += length;
+      return;
+    }
+  }
+  segments.push_back(CopySegment{src, dst, length});
+}
+
+bool is_excluded(std::span<const int> excluded, int rank) {
+  return std::find(excluded.begin(), excluded.end(), rank) != excluded.end();
+}
+
+}  // namespace
+
+ReshardPlan plan_reshard(const core::Layout& from, const core::Layout& to,
+                         std::span<const int> excluded_sources) {
+  DDS_CHECK_MSG(from.valid() && to.valid(), "plan_reshard on empty layouts");
+  DDS_CHECK_MSG(from.nranks() == to.nranks(),
+                "layouts span different communicators");
+  DDS_CHECK_MSG(from.num_samples() == to.num_samples(),
+                "layouts describe different datasets");
+
+  const core::DataRegistry& old_reg = from.registry();
+  const core::DataRegistry& new_reg = to.registry();
+  const core::ChunkAssignment target = to.assignment();
+  const int replicas_old = from.num_groups();
+
+  ReshardPlan plan;
+  plan.from_width = from.width();
+  plan.to_width = to.width();
+  plan.ranks.resize(static_cast<std::size_t>(from.nranks()));
+
+  for (int r = 0; r < from.nranks(); ++r) {
+    RankReshardPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    rp.rank = r;
+    const int owner_new = to.group_rank_of(r);
+    const int my_old_chunk = from.group_rank_of(r);
+    rp.new_chunk_bytes = to.chunk_bytes(owner_new);
+
+    // Per-source accumulation; std::map keeps pulls ascending by source.
+    std::map<int, PullPlan> by_source;
+
+    // New chunk storage order == ascending dst offsets, so merged runs
+    // come out maximal without a sort.
+    for (const std::uint64_t id : target.ids_of(owner_new)) {
+      const core::DataRegistry::Entry& e_new = new_reg.lookup(id);
+      const core::DataRegistry::Entry& e_old = old_reg.lookup(id);
+      const int owner_old = static_cast<int>(e_old.owner);
+      if (owner_old == my_old_chunk) {
+        append_merged(rp.keeps, e_old.offset, e_new.offset, e_old.length);
+        rp.keep_bytes += e_old.length;
+        ++rp.keep_samples;
+        continue;
+      }
+      // Pull: rotate over the old layout's replica groups starting from
+      // this rank's own group.  owner_old != my_old_chunk guarantees the
+      // chosen holder is never r itself (different group rank).
+      int source = -1;
+      for (int hop = 0; hop < replicas_old; ++hop) {
+        const int cand = from.holder((from.group_of(r) + hop) % replicas_old,
+                                     owner_old);
+        if (!is_excluded(excluded_sources, cand)) {
+          source = cand;
+          break;
+        }
+      }
+      if (source < 0) {
+        throw IoError("reshard: every holder of sample " + std::to_string(id) +
+                      " is excluded");
+      }
+      PullPlan& pull = by_source[source];
+      pull.source = source;
+      append_merged(pull.segments, e_old.offset, e_new.offset, e_old.length);
+      pull.bytes += e_old.length;
+      ++pull.samples;
+    }
+
+    rp.pulls.reserve(by_source.size());
+    for (auto& [src, pull] : by_source) {
+      rp.pull_bytes += pull.bytes;
+      rp.pull_samples += pull.samples;
+      rp.pulls.push_back(std::move(pull));
+    }
+    plan.total_pull_bytes += rp.pull_bytes;
+    plan.total_keep_bytes += rp.keep_bytes;
+  }
+  return plan;
+}
+
+ReshardPlan plan_rebuild(const core::Layout& layout, int dead_rank) {
+  DDS_CHECK_MSG(layout.valid(), "plan_rebuild on an empty layout");
+  DDS_CHECK_MSG(dead_rank >= 0 && dead_rank < layout.nranks(),
+                "dead rank outside the communicator");
+  const int replicas = layout.num_groups();
+  if (replicas < 2) {
+    throw IoError("rebuild of rank " + std::to_string(dead_rank) +
+                  " impossible: no sibling replica group survives it");
+  }
+  const int owner = layout.group_rank_of(dead_rank);
+  const int my_group = layout.group_of(dead_rank);
+
+  ReshardPlan plan;
+  plan.from_width = layout.width();
+  plan.to_width = layout.width();
+  plan.ranks.resize(static_cast<std::size_t>(layout.nranks()));
+  for (int r = 0; r < layout.nranks(); ++r) {
+    plan.ranks[static_cast<std::size_t>(r)].rank = r;
+    plan.ranks[static_cast<std::size_t>(r)].new_chunk_bytes =
+        layout.chunk_bytes_of_rank(r);
+  }
+
+  // The whole chunk from the nearest surviving twin, as one segment.
+  RankReshardPlan& rp = plan.ranks[static_cast<std::size_t>(dead_rank)];
+  const int twin = layout.holder((my_group + 1) % replicas, owner);
+  PullPlan pull;
+  pull.source = twin;
+  pull.bytes = layout.chunk_bytes(owner);
+  pull.samples = layout.assignment().chunk_size(owner);
+  pull.segments.push_back(CopySegment{0, 0, pull.bytes});
+  rp.pull_bytes = pull.bytes;
+  rp.pull_samples = pull.samples;
+  rp.pulls.push_back(std::move(pull));
+  plan.total_pull_bytes = rp.pull_bytes;
+  return plan;
+}
+
+double estimate_reshard_seconds(const ReshardPlan& plan,
+                                const model::MachineConfig& machine,
+                                std::uint64_t nominal_sample_bytes) {
+  const model::NetworkParams& net = machine.net;
+  double worst = 0.0;
+  for (const RankReshardPlan& rp : plan.ranks) {
+    double t = 0.0;
+    for (const PullPlan& pull : rp.pulls) {
+      const bool intra =
+          machine.node_of_rank(rp.rank) == machine.node_of_rank(pull.source);
+      const double overhead =
+          intra ? net.rma_intra_overhead_s : net.rma_remote_overhead_s;
+      const double latency = intra ? net.intra_latency_s : net.inter_latency_s;
+      const double bandwidth =
+          intra ? net.intra_bandwidth_Bps : net.inter_bandwidth_Bps;
+      const double nominal =
+          static_cast<double>(pull.samples * nominal_sample_bytes);
+      t += overhead + latency +
+           static_cast<double>(pull.segments.size() - 1) *
+               net.rma_segment_overhead_s +
+           nominal / bandwidth;
+    }
+    if (rp.keep_samples > 0) {
+      t += static_cast<double>(rp.keep_samples * nominal_sample_bytes) /
+           machine.cpu.memcpy_bandwidth_Bps;
+    }
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace dds::elastic

@@ -1,0 +1,95 @@
+// Reshard planning: the pure half of the elastic subsystem.
+//
+// A reshard takes the store from Layout (nranks, w_old) to (nranks, w_new).
+// plan_reshard() diffs the two layouts and emits, per rank, a
+// minimal-movement transfer plan: every byte of the rank's *new* chunk is
+// classified as a KEEP (already resident in the rank's old chunk — a local
+// memcpy, no network) or a PULL (a vectored RMA get from the old layout's
+// holder of that byte).  Contiguous (src, dst) runs are merged into single
+// segments, so a Block->Block width halving moves each rank at most a few
+// large ranges instead of per-sample gets.
+//
+// Planning is deterministic and identical on every rank — both layouts are
+// globally known — which is what lets the executor run collectively with no
+// negotiation phase.  Pull sources rotate across the old layout's replica
+// groups starting from the puller's own group, spreading load over twins
+// and skipping any excluded (dead) source ranks.
+//
+// Invariants (property-tested in tests/elastic/reshard_plan_test.cpp):
+//   * conservation — per rank, keeps + pulls tile the new chunk exactly;
+//   * no self-sends — a pull's source is never the pulling rank;
+//   * minimality — pulled bytes never exceed the naive full-restripe bound
+//     (new chunk bytes minus what was already resident).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "model/machine.hpp"
+
+namespace dds::elastic {
+
+/// One contiguous copy: `length` bytes from offset `src_offset` of the
+/// *source rank's old chunk* to offset `dst_offset` of the planning rank's
+/// *new chunk*.  For keeps the source rank is the planning rank itself.
+struct CopySegment {
+  std::uint64_t src_offset = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// All bytes one rank pulls from one source rank, as merged segments in
+/// destination order (one vectored RMA get per PullPlan).
+struct PullPlan {
+  int source = -1;  ///< comm rank holding the bytes under the *old* layout
+  std::vector<CopySegment> segments;
+  std::uint64_t bytes = 0;    ///< actual bytes (sum of segment lengths)
+  std::uint64_t samples = 0;  ///< whole samples the segments carry
+};
+
+/// One rank's complete reshard work.
+struct RankReshardPlan {
+  int rank = -1;
+  std::vector<CopySegment> keeps;  ///< old chunk -> new chunk, local memcpy
+  std::vector<PullPlan> pulls;     ///< ascending by source rank
+  std::uint64_t keep_bytes = 0;
+  std::uint64_t keep_samples = 0;
+  std::uint64_t pull_bytes = 0;
+  std::uint64_t pull_samples = 0;
+  std::uint64_t new_chunk_bytes = 0;
+};
+
+/// The full collective plan: ranks[r] is comm rank r's work.
+struct ReshardPlan {
+  int from_width = 0;
+  int to_width = 0;
+  std::vector<RankReshardPlan> ranks;
+  std::uint64_t total_pull_bytes = 0;
+  std::uint64_t total_keep_bytes = 0;
+};
+
+/// Diffs two layouts over the same dataset and communicator into a
+/// minimal-movement plan.  `excluded_sources` (comm ranks, e.g. dead ones)
+/// are never chosen as pull sources; throws IoError if some byte's every
+/// holder is excluded.
+ReshardPlan plan_reshard(const core::Layout& from, const core::Layout& to,
+                         std::span<const int> excluded_sources = {});
+
+/// Plans the fault-recovery rebuild of `dead_rank`'s chunk under the
+/// *current* layout: the dead rank pulls its entire chunk from the nearest
+/// surviving twin (same group rank, sibling replica group); every other
+/// rank's plan is empty.  Throws IoError when no sibling group exists.
+ReshardPlan plan_rebuild(const core::Layout& layout, int dead_rank);
+
+/// Analytic cost of executing `plan`: the slowest rank's pull time (RMA
+/// overhead + segment descriptors + wire bytes at nominal scale) plus its
+/// keep memcpy time.  Pure — uses MachineConfig constants only, no queueing
+/// state — so every rank computes the identical estimate the width
+/// controller weighs against its modeled benefit.
+double estimate_reshard_seconds(const ReshardPlan& plan,
+                                const model::MachineConfig& machine,
+                                std::uint64_t nominal_sample_bytes);
+
+}  // namespace dds::elastic

@@ -24,6 +24,7 @@
 // bit-identical (the acceptance criterion for reproducible chaos runs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -83,7 +84,17 @@ class FaultInjector {
 
   /// True if `target` (world rank) is dead at virtual time `now`.
   bool target_dead(int target, double now) const {
-    return target == config_.dead_rank && now >= config_.death_time_s;
+    return target == config_.dead_rank && now >= config_.death_time_s &&
+           !revived_.load(std::memory_order_relaxed);
+  }
+
+  /// Brings `rank` back: once the elastic fault-recovery hook has re-hosted
+  /// its chunk, gets targeting it succeed again.  Atomic because every rank
+  /// thread reads target_dead() while the recovering collective writes here.
+  void revive(int rank) {
+    if (rank == config_.dead_rank) {
+      revived_.store(true, std::memory_order_relaxed);
+    }
   }
 
   /// Byte position to flip in a corrupted payload of `size` bytes.
@@ -111,6 +122,7 @@ class FaultInjector {
   FaultConfig config_;
   int nranks_;
   std::vector<RankStreams> streams_;
+  std::atomic<bool> revived_{false};  ///< dead_rank brought back by rebuild
 };
 
 }  // namespace dds::faults

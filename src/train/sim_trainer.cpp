@@ -115,6 +115,9 @@ EpochReport SimulatedTrainer::run_epoch(std::uint64_t epoch) {
   for (const double h : comm_.allgather_untimed(hidden_local)) {
     report.overlap_hidden_s += h;
   }
+  // Epoch boundary: no fetch is in flight on any rank, so the hook may run
+  // collective work (the elastic driver reshards the backend here).
+  if (epoch_end_hook_) epoch_end_hook_(report);
   return report;
 }
 

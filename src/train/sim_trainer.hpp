@@ -11,6 +11,7 @@
 // up as GPU-Comm stall, exactly the effect discussed around Fig. 5.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -141,6 +142,15 @@ class SimulatedTrainer {
   /// recorded on this rank (Fig. 7).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Optional epoch-boundary hook, invoked (on every rank, with the
+  /// rank-identical report) after each run_epoch finishes and before it
+  /// returns.  This is where the elastic driver lives: the hook runs with
+  /// no fetch in flight, so it may reshard the backend collectively.
+  using EpochEndHook = std::function<void(const EpochReport&)>;
+  void set_epoch_end_hook(EpochEndHook hook) {
+    epoch_end_hook_ = std::move(hook);
+  }
+
  private:
   void run_steps_pipelined();
   void run_steps_prefetching();
@@ -156,6 +166,7 @@ class SimulatedTrainer {
   std::uint64_t grad_bytes_;
   PhaseProfile profile_;   ///< cumulative across epochs (this rank)
   Tracer* tracer_ = nullptr;
+  EpochEndHook epoch_end_hook_;
 };
 
 }  // namespace dds::train

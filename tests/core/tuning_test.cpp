@@ -39,6 +39,34 @@ TEST(SuggestWidth, TooLargeThrows) {
   EXPECT_THROW(suggest_width(1 * GiB, 0, 4), ConfigError);
 }
 
+TEST(SuggestWidthEx, ReportsReplicasChunkAndHeadroom) {
+  // 64 GB dataset, 9 GB budget, 64 ranks: width 8 => 8 replica groups,
+  // 8 GB chunks, 1 GB headroom per rank.
+  const WidthSuggestion s = suggest_width_ex(64 * GiB, 9 * GiB, 64);
+  EXPECT_EQ(s.width, 8);
+  EXPECT_EQ(s.replicas, 8);
+  EXPECT_EQ(s.chunk_bytes_per_rank, 8 * GiB);
+  EXPECT_EQ(s.headroom_bytes, 1 * GiB);
+}
+
+TEST(SuggestWidthEx, CeilingChunkBytesNeverExceedBudget) {
+  // Non-divisible byte counts round the chunk up, and the headroom is what
+  // remains after the rounded chunk.
+  const WidthSuggestion s = suggest_width_ex(10 * GiB + 1, 6 * GiB, 4);
+  EXPECT_EQ(s.width, 2);
+  EXPECT_EQ(s.replicas, 2);
+  EXPECT_EQ(s.chunk_bytes_per_rank, 5 * GiB + 1);
+  EXPECT_EQ(s.headroom_bytes, 1 * GiB - 1);
+  EXPECT_LE(s.chunk_bytes_per_rank, 6 * GiB);
+}
+
+TEST(SuggestWidthEx, AgreesWithSuggestWidth) {
+  for (const std::uint64_t budget : {2 * GiB, 7 * GiB, 9 * GiB, 64 * GiB}) {
+    EXPECT_EQ(suggest_width_ex(64 * GiB, budget, 64).width,
+              suggest_width(64 * GiB, budget, 64));
+  }
+}
+
 TEST(SuggestWidth, PaperScaleExamples) {
   // AISD-Ex smooth (1.5 TB CFF) on 1024 Perlmutter GPUs with ~48 GB of
   // host memory budget per rank: need width >= 32.

@@ -1,0 +1,108 @@
+#include "elastic/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace dds::elastic {
+namespace {
+
+/// An observation where remote fetches dominate: stepping down looks good.
+WidthObservation remote_heavy(double epoch_seconds) {
+  WidthObservation obs;
+  obs.epoch_seconds = epoch_seconds;
+  obs.fetch_seconds = epoch_seconds * 0.8;
+  obs.local_gets = 100;
+  obs.remote_gets = 700;
+  return obs;
+}
+
+TEST(WidthLadder, DivisorStepsRespectBudget) {
+  WidthControllerConfig cfg;
+  cfg.memory_budget_per_rank = 3 * GiB;  // width 4 chunks (2 GiB) fit,
+                                         // width 2 chunks (4 GiB) do not
+  AdaptiveWidthController c(8, 8 * GiB, cfg);
+  EXPECT_TRUE(c.fits_budget(8));
+  EXPECT_TRUE(c.fits_budget(4));
+  EXPECT_FALSE(c.fits_budget(2));
+  EXPECT_EQ(c.next_down(8), 4);
+  EXPECT_EQ(c.next_down(4), 4);  // 2 and 1 are over budget: ladder bottom
+  EXPECT_EQ(c.next_up(4), 8);
+  EXPECT_EQ(c.next_up(8), 8);
+}
+
+TEST(Controller, WalksDownToTheFeasibleFloorAndSettles) {
+  WidthControllerConfig cfg;
+  cfg.memory_budget_per_rank = 5 * GiB;  // floor at width 2 (4 GiB chunks)
+  AdaptiveWidthController c(8, 8 * GiB, cfg);
+
+  // Cheap reshard, remote-heavy epochs: 8 -> 4 -> 2, then settle.
+  auto d1 = c.on_epoch(8, remote_heavy(10.0), /*cost_down_s=*/0.5);
+  EXPECT_EQ(d1.target_width, 4);
+  EXPECT_STREQ(d1.reason, "step_down");
+  auto d2 = c.on_epoch(4, remote_heavy(8.0), 0.5);  // improved: accepted
+  EXPECT_EQ(d2.target_width, 2);
+  auto d3 = c.on_epoch(2, remote_heavy(7.0), 0.5);
+  EXPECT_EQ(d3.target_width, 2);
+  EXPECT_STREQ(d3.reason, "settled");
+  EXPECT_TRUE(c.converged());
+  // Settled controllers hold.
+  EXPECT_STREQ(c.on_epoch(2, remote_heavy(7.0), 0.5).reason, "settled");
+}
+
+TEST(Controller, RevertsOnMeasuredRegression) {
+  AdaptiveWidthController c(8, 8 * GiB, WidthControllerConfig{});
+  auto d1 = c.on_epoch(8, remote_heavy(10.0), 0.5);
+  ASSERT_EQ(d1.target_width, 4);
+  // The step made things measurably worse: revert and settle.
+  auto d2 = c.on_epoch(4, remote_heavy(12.0), 0.5);
+  EXPECT_EQ(d2.target_width, 8);
+  EXPECT_STREQ(d2.reason, "revert");
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(Controller, ToleranceAcceptsSmallNoise) {
+  WidthControllerConfig cfg;
+  cfg.step_tolerance = 0.05;
+  AdaptiveWidthController c(8, 8 * GiB, cfg);
+  ASSERT_EQ(c.on_epoch(8, remote_heavy(10.0), 0.5).target_width, 4);
+  // 2% slower is inside the 5% tolerance: keep exploring, not revert.
+  auto d = c.on_epoch(4, remote_heavy(10.2), 0.5);
+  EXPECT_NE(std::string(d.reason), "revert");
+}
+
+TEST(Controller, BudgetViolationForcesStepUpEvenWhenSettled) {
+  WidthControllerConfig cfg;
+  cfg.memory_budget_per_rank = 3 * GiB;
+  AdaptiveWidthController c(8, 8 * GiB, cfg);
+  // Width 2 holds 4 GiB chunks — over budget, cost is irrelevant.
+  auto d = c.on_epoch(2, remote_heavy(5.0), 1e9);
+  EXPECT_EQ(d.target_width, 4);
+  EXPECT_STREQ(d.reason, "budget_up");
+}
+
+TEST(Controller, ExpensiveReshardBlocksTheStep) {
+  AdaptiveWidthController c(8, 8 * GiB, WidthControllerConfig{});
+  // Saving ~ seconds/epoch, cost astronomically larger: hold and settle.
+  auto d = c.on_epoch(8, remote_heavy(10.0), /*cost_down_s=*/1e6);
+  EXPECT_EQ(d.target_width, 8);
+  EXPECT_STREQ(d.reason, "settled");
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(Controller, AllLocalWorkloadHasNothingToGain) {
+  AdaptiveWidthController c(8, 8 * GiB, WidthControllerConfig{});
+  WidthObservation obs;
+  obs.epoch_seconds = 10.0;
+  obs.fetch_seconds = 8.0;
+  obs.local_gets = 800;
+  obs.remote_gets = 0;  // zero remote share => zero modeled saving
+  auto d = c.on_epoch(8, obs, 0.001);
+  EXPECT_EQ(d.target_width, 8);
+  EXPECT_TRUE(c.converged());
+}
+
+}  // namespace
+}  // namespace dds::elastic

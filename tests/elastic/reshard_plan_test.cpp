@@ -1,0 +1,260 @@
+#include "elastic/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/bytes.hpp"
+#include "model/machine.hpp"
+
+namespace dds::elastic {
+namespace {
+
+/// A layout over synthetic per-sample lengths, built without any runtime:
+/// the registry is constructed straight from the placement arithmetic.
+core::Layout make_layout(int nranks, int width, core::Placement placement,
+                         const std::vector<std::uint32_t>& sample_lengths) {
+  const core::ChunkAssignment a(sample_lengths.size(), width, placement);
+  std::vector<std::uint32_t> lengths;
+  std::vector<std::size_t> counts;
+  std::vector<std::uint64_t> checksums;
+  for (int g = 0; g < width; ++g) {
+    const auto ids = a.ids_of(g);
+    counts.push_back(ids.size());
+    for (const std::uint64_t id : ids) {
+      lengths.push_back(sample_lengths[id]);
+      checksums.push_back(id * 1315423911ULL + 17);  // distinct, nonzero
+    }
+  }
+  auto reg = core::DataRegistry::build(
+      a, std::span<const std::uint32_t>(lengths),
+      std::span<const std::size_t>(counts),
+      std::span<const std::uint64_t>(checksums));
+  return core::Layout(nranks, width, placement, std::move(reg));
+}
+
+std::vector<std::uint32_t> varied_lengths(std::uint64_t n) {
+  std::vector<std::uint32_t> lengths(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    lengths[i] = 64 + static_cast<std::uint32_t>((i * 37) % 129);
+  }
+  return lengths;
+}
+
+/// Keeps + pulls must tile the rank's new chunk exactly (conservation).
+void expect_tiles_new_chunk(const RankReshardPlan& rp) {
+  std::vector<CopySegment> all = rp.keeps;
+  for (const PullPlan& pull : rp.pulls) {
+    all.insert(all.end(), pull.segments.begin(), pull.segments.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const CopySegment& a, const CopySegment& b) {
+              return a.dst_offset < b.dst_offset;
+            });
+  std::uint64_t covered = 0;
+  for (const CopySegment& seg : all) {
+    EXPECT_EQ(seg.dst_offset, covered) << "gap or overlap in rank "
+                                       << rp.rank << "'s destination tiling";
+    covered += seg.length;
+  }
+  EXPECT_EQ(covered, rp.new_chunk_bytes);
+  EXPECT_EQ(rp.keep_bytes + rp.pull_bytes, rp.new_chunk_bytes);
+}
+
+/// Materializes every rank's old chunk (byte = f(sample id, position)),
+/// executes the plan with plain memcpy, and checks the rebuilt chunks are
+/// byte-identical to chunks preloaded directly under the new layout.
+void expect_byte_identity(const core::Layout& from, const core::Layout& to,
+                          const ReshardPlan& plan) {
+  auto chunk_under = [](const core::Layout& layout, int rank) {
+    const core::ChunkAssignment a = layout.assignment();
+    const int g = layout.group_rank_of(rank);
+    ByteBuffer chunk(layout.chunk_bytes(g));
+    std::uint64_t off = 0;
+    for (const std::uint64_t id : a.ids_of(g)) {
+      const auto& e = layout.registry().lookup(id);
+      EXPECT_EQ(e.offset, off);
+      for (std::uint32_t i = 0; i < e.length; ++i) {
+        chunk[off + i] = static_cast<std::byte>((id * 131 + i) & 0xFF);
+      }
+      off += e.length;
+    }
+    return chunk;
+  };
+
+  std::vector<ByteBuffer> old_chunks;
+  for (int r = 0; r < from.nranks(); ++r) {
+    old_chunks.push_back(chunk_under(from, r));
+  }
+  for (int r = 0; r < from.nranks(); ++r) {
+    const RankReshardPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    ByteBuffer rebuilt(rp.new_chunk_bytes);
+    for (const CopySegment& seg : rp.keeps) {
+      std::memcpy(rebuilt.data() + seg.dst_offset,
+                  old_chunks[static_cast<std::size_t>(r)].data() +
+                      seg.src_offset,
+                  seg.length);
+    }
+    for (const PullPlan& pull : rp.pulls) {
+      for (const CopySegment& seg : pull.segments) {
+        std::memcpy(rebuilt.data() + seg.dst_offset,
+                    old_chunks[static_cast<std::size_t>(pull.source)].data() +
+                        seg.src_offset,
+                    seg.length);
+      }
+    }
+    EXPECT_EQ(rebuilt, chunk_under(to, r)) << "rank " << r;
+  }
+}
+
+TEST(ReshardPlan, PropertiesHoldAcrossWidthsAndPlacements) {
+  const auto lengths = varied_lengths(96);
+  for (const core::Placement p :
+       {core::Placement::Block, core::Placement::RoundRobin}) {
+    for (const int w_old : {1, 2, 4, 8}) {
+      for (const int w_new : {1, 2, 4, 8}) {
+        if (w_old == w_new) continue;
+        const core::Layout from = make_layout(8, w_old, p, lengths);
+        const core::Layout to = from.with_width(w_new);
+        const ReshardPlan plan = plan_reshard(from, to);
+        ASSERT_EQ(plan.ranks.size(), 8u);
+        for (const RankReshardPlan& rp : plan.ranks) {
+          expect_tiles_new_chunk(rp);
+          for (const PullPlan& pull : rp.pulls) {
+            EXPECT_NE(pull.source, rp.rank) << "self-send";
+            EXPECT_EQ(std::accumulate(
+                          pull.segments.begin(), pull.segments.end(),
+                          std::uint64_t{0},
+                          [](std::uint64_t s, const CopySegment& seg) {
+                            return s + seg.length;
+                          }),
+                      pull.bytes);
+          }
+          // Minimality: never move more than a naive full restripe would.
+          EXPECT_LE(rp.pull_bytes, rp.new_chunk_bytes);
+        }
+        expect_byte_identity(from, to, plan);
+      }
+    }
+  }
+}
+
+TEST(ReshardPlan, SameWidthMovesNothing) {
+  const core::Layout from =
+      make_layout(8, 4, core::Placement::Block, varied_lengths(64));
+  const ReshardPlan plan = plan_reshard(from, from);
+  EXPECT_EQ(plan.total_pull_bytes, 0u);
+  for (const RankReshardPlan& rp : plan.ranks) {
+    EXPECT_TRUE(rp.pulls.empty());
+    EXPECT_EQ(rp.keep_bytes, rp.new_chunk_bytes);
+    // Identity keeps merge into a single whole-chunk segment.
+    ASSERT_EQ(rp.keeps.size(), 1u);
+    EXPECT_EQ(rp.keeps[0].src_offset, 0u);
+    EXPECT_EQ(rp.keeps[0].dst_offset, 0u);
+  }
+}
+
+TEST(ReshardPlan, WideningReusesResidentPrefix) {
+  // Block placement, width 2 -> 4: each rank's new chunk is a sub-range of
+  // some old chunk, so keeps dominate where old owner == new holder.
+  const core::Layout from =
+      make_layout(8, 2, core::Placement::Block, varied_lengths(64));
+  const core::Layout to = from.with_width(4);
+  const ReshardPlan plan = plan_reshard(from, to);
+  EXPECT_LT(plan.total_pull_bytes,
+            plan.total_pull_bytes + plan.total_keep_bytes)
+      << "some bytes must be reused";
+  // Rank 0: old chunk 0 (first half), new chunk 0 (first quarter) — fully
+  // resident, zero pulls.
+  EXPECT_EQ(plan.ranks[0].pull_bytes, 0u);
+}
+
+TEST(ReshardPlan, ExcludedSourcesAreSkipped) {
+  const core::Layout from =
+      make_layout(8, 2, core::Placement::Block, varied_lengths(64));
+  const core::Layout to = from.with_width(4);
+  // Rank 1 (old group 0, chunk 1) would be a natural source for group-0
+  // pullers; excluding it must route them to its twins (ranks 3, 5, 7).
+  const std::vector<int> excluded = {1};
+  const ReshardPlan plan =
+      plan_reshard(from, to, std::span<const int>(excluded));
+  for (const RankReshardPlan& rp : plan.ranks) {
+    for (const PullPlan& pull : rp.pulls) {
+      EXPECT_NE(pull.source, 1);
+    }
+  }
+}
+
+TEST(ReshardPlan, ThrowsWhenEveryHolderIsExcluded) {
+  // Width 8 = one replica group: excluding rank 3 removes sample bytes no
+  // other rank holds.
+  const core::Layout from =
+      make_layout(8, 8, core::Placement::Block, varied_lengths(64));
+  const core::Layout to = from.with_width(4);
+  const std::vector<int> excluded = {3};
+  EXPECT_THROW(plan_reshard(from, to, std::span<const int>(excluded)),
+               IoError);
+}
+
+TEST(WithWidth, PreservesPerSampleFacts) {
+  const auto lengths = varied_lengths(96);
+  const core::Layout from =
+      make_layout(8, 4, core::Placement::RoundRobin, lengths);
+  const core::Layout to = from.with_width(2);
+  EXPECT_EQ(to.width(), 2);
+  EXPECT_EQ(to.num_groups(), 4);
+  EXPECT_EQ(to.num_samples(), from.num_samples());
+  const core::ChunkAssignment a = to.assignment();
+  for (std::uint64_t id = 0; id < to.num_samples(); ++id) {
+    const auto& e_old = from.registry().lookup(id);
+    const auto& e_new = to.registry().lookup(id);
+    EXPECT_EQ(e_new.length, e_old.length);
+    EXPECT_EQ(e_new.checksum, e_old.checksum);
+    EXPECT_EQ(static_cast<int>(e_new.owner), a.owner_of(id));
+  }
+}
+
+TEST(PlanRebuild, DeadRankPullsWholeChunkFromTwin) {
+  const core::Layout layout =
+      make_layout(8, 4, core::Placement::Block, varied_lengths(64));
+  const ReshardPlan plan = plan_rebuild(layout, /*dead_rank=*/2);
+  for (int r = 0; r < 8; ++r) {
+    const RankReshardPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    if (r != 2) {
+      EXPECT_TRUE(rp.pulls.empty());
+      EXPECT_TRUE(rp.keeps.empty());
+      continue;
+    }
+    ASSERT_EQ(rp.pulls.size(), 1u);
+    const PullPlan& pull = rp.pulls[0];
+    EXPECT_EQ(pull.source, 6);  // same group rank, sibling group
+    EXPECT_EQ(pull.bytes, layout.chunk_bytes(2));
+    ASSERT_EQ(pull.segments.size(), 1u);
+    EXPECT_EQ(pull.segments[0].length, pull.bytes);
+  }
+  EXPECT_GT(estimate_reshard_seconds(plan, model::test_machine(), 1 * MiB),
+            0.0);
+}
+
+TEST(PlanRebuild, SingleReplicaGroupThrows) {
+  const core::Layout layout =
+      make_layout(8, 8, core::Placement::Block, varied_lengths(64));
+  EXPECT_THROW(plan_rebuild(layout, 2), IoError);
+}
+
+TEST(EstimateReshard, ScalesWithNominalBytes) {
+  const core::Layout from =
+      make_layout(8, 8, core::Placement::Block, varied_lengths(64));
+  const core::Layout to = from.with_width(4);
+  const ReshardPlan plan = plan_reshard(from, to);
+  const model::MachineConfig machine = model::test_machine();
+  const double small = estimate_reshard_seconds(plan, machine, 64 * KiB);
+  const double large = estimate_reshard_seconds(plan, machine, 64 * MiB);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace dds::elastic
