@@ -24,9 +24,10 @@ enum class Category : std::uint8_t {
   Verify,      ///< checksum verification outcomes
   Train,       ///< trainer phases: sample, load, fwd/bwd, allreduce, opt
   Elastic,     ///< reshard planning/execution, dead-rank chunk rebuilds
+  Hedge,       ///< hedged fetches: deadline fires, wins, mismatches
 };
 
-inline constexpr int kNumCategories = 8;
+inline constexpr int kNumCategories = 9;
 
 /// Stable lowercase name (used as the Chrome trace "cat" field and as the
 /// summary key — changing one invalidates committed perf baselines).
@@ -48,6 +49,8 @@ inline const char* category_name(Category c) {
       return "train";
     case Category::Elastic:
       return "elastic";
+    case Category::Hedge:
+      return "hedge";
   }
   return "?";
 }

@@ -214,6 +214,11 @@ const DDStoreStats& DDStore::stats() const {
   s.cache_misses = metrics_.counter_value("cache_misses");
   s.cache_evictions = metrics_.counter_value("cache_evictions");
   s.cache_hit_bytes = metrics_.counter_value("cache_hit_bytes");
+  s.hedged_fetches = metrics_.counter_value("hedged_fetches");
+  s.hedge_wins = metrics_.counter_value("hedge_wins");
+  s.hedge_mismatches = metrics_.counter_value("hedge_mismatches");
+  s.hedge_cancelled_bytes = metrics_.counter_value("hedge_cancelled_bytes");
+  s.quarantine_steers = metrics_.counter_value("quarantine_steers");
   s.reshards = metrics_.counter_value("reshards");
   s.reshard_pull_bytes = metrics_.counter_value("reshard_pull_bytes");
   s.reshard_keep_bytes = metrics_.counter_value("reshard_keep_bytes");

@@ -139,6 +139,13 @@ class DDStore {
     engine_->reset_target_health(target);
   }
 
+  /// Continuous [0, 1] health score for a comm-rank target (0 while its
+  /// breaker is open) — the elastic driver's gray-failure suspicion
+  /// signal, replacing the binary breaker-only reduce.
+  double health_score(int target) const {
+    return engine_->health_score(target);
+  }
+
  private:
   simmpi::Comm comm_;    ///< the full training communicator
   simmpi::Comm group_;   ///< this rank's replica group

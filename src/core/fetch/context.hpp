@@ -73,6 +73,26 @@ struct FetchMetrics {
   LatencyRecorder& latency;
 };
 
+/// Hedging/health counters, registered *after* FetchMetrics and only when
+/// DDStoreConfig::hedge.enabled — the default counter layout (and the
+/// committed CI perf baseline that serializes it) stays untouched, exactly
+/// like the elastic counters.  Every rank evaluates the same config, so
+/// registry layouts still match across ranks.
+struct HedgeMetrics {
+  explicit HedgeMetrics(MetricsRegistry& registry)
+      : hedged_fetches(registry.counter("hedged_fetches")),
+        hedge_wins(registry.counter("hedge_wins")),
+        hedge_mismatches(registry.counter("hedge_mismatches")),
+        hedge_cancelled_bytes(registry.counter("hedge_cancelled_bytes")),
+        quarantine_steers(registry.counter("quarantine_steers")) {}
+
+  MetricsRegistry::Counter& hedged_fetches;
+  MetricsRegistry::Counter& hedge_wins;
+  MetricsRegistry::Counter& hedge_mismatches;
+  MetricsRegistry::Counter& hedge_cancelled_bytes;
+  MetricsRegistry::Counter& quarantine_steers;
+};
+
 /// Everything a fetch stage may consult.  All pointers are non-owning and
 /// outlive the engine (they point into the DDStore that built it).
 ///
@@ -91,6 +111,9 @@ struct FetchContext {
   fs::FsClient* fs_client = nullptr;
   FetchMetrics* metrics = nullptr;
   std::uint64_t nominal_sample_bytes = 0;
+  /// Non-null iff config->hedge.enabled (doubles as the stage-side switch
+  /// for hedging and health steering).
+  HedgeMetrics* hedge = nullptr;
 
   const DataRegistry& registry() const { return layout->registry(); }
   int width() const { return layout->width(); }

@@ -21,7 +21,12 @@ FetchEngine::FetchEngine(simmpi::Comm& comm, simmpi::Comm& group,
       decode_(config.decode),
       cache_(config.cache_capacity_bytes),
       transport_(ctx_),
-      resilience_(ctx_, transport_) {}
+      resilience_(ctx_, transport_) {
+  if (config.hedge.enabled) {
+    hedge_metrics_.emplace(metrics);
+    ctx_.hedge = &*hedge_metrics_;
+  }
+}
 
 void FetchEngine::charge_cache_hit() {
   // A hit is modeled as constant lookup service plus one memcpy of the

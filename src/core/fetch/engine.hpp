@@ -18,6 +18,7 @@
 // and delegates every read to the engine.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -64,6 +65,12 @@ class FetchEngine {
   bool breaker_open(int target) const { return resilience_.breaker_open(target); }
   void reset_target_health(int target) { resilience_.reset_target(target); }
 
+  /// Continuous [0, 1] health of one comm-rank target (0 while its breaker
+  /// is open) — the elastic driver's gray-failure suspicion signal.
+  double health_score(int target) const {
+    return resilience_.health_score(target);
+  }
+
  private:
   void fetch_into(std::uint64_t id, MutableByteSpan dst, bool locked,
                   bool lock_amortized = false);
@@ -97,6 +104,10 @@ class FetchEngine {
   void admit(std::uint64_t id, ByteSpan bytes);
 
   FetchMetrics metrics_;
+  /// Registered after FetchMetrics and only when config.hedge.enabled, so
+  /// the default counter layout (and the committed CI perf baseline)
+  /// stays untouched.  ctx_.hedge points here when engaged.
+  std::optional<HedgeMetrics> hedge_metrics_;
   FetchContext ctx_;
   formats::DecodeCost decode_;
   SampleCache cache_;

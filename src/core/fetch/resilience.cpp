@@ -1,12 +1,55 @@
 #include "core/fetch/resilience.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/checksum.hpp"
 #include "common/tracing/tracer.hpp"
 
 namespace dds::core::fetch {
+
+namespace {
+
+/// Seed of the stage-private backoff jitter RNG (see the member comment);
+/// streamed by world rank so every rank's retry schedule is independent
+/// and replayable.
+constexpr std::uint64_t kBackoffSeed = 0xddb0ff5eedULL;
+
+/// Every Nth demotion of a quarantined primary probes it instead (see
+/// TargetState::steer_count).  Probes are hedged under the capped
+/// deadline, so a still-degraded rank costs a bounded detour while a
+/// recovered one re-earns its score within a few probes.
+constexpr std::uint32_t kQuarantineProbeEvery = 8;
+
+HealthParams health_params(const DDStoreConfig& config) {
+  HealthParams p;
+  p.alpha = config.hedge.health_alpha;
+  p.min_observations = config.hedge.min_observations;
+  p.quarantine_below = config.hedge.quarantine_below;
+  p.deadline_sigma = config.hedge.deadline_sigma;
+  p.deadline_floor_s = config.hedge.deadline_floor_s;
+  return p;
+}
+
+}  // namespace
+
+ResilienceStage::ResilienceStage(const FetchContext& ctx,
+                                 RmaTransport& transport)
+    : ctx_(&ctx),
+      transport_(&transport),
+      health_(static_cast<std::size_t>(ctx.comm->size()),
+              health_params(*ctx.config)),
+      backoff_rng_(Rng(kBackoffSeed).stream(
+          static_cast<std::uint64_t>(ctx.comm->world_rank()))) {
+  const RetryPolicy& rp = ctx.config->retry;
+  targets_.resize(static_cast<std::size_t>(ctx.comm->size()),
+                  TargetState{CircuitBreaker(rp.breaker_threshold,
+                                             rp.breaker_cooldown_fetches),
+                              0});
+}
 
 bool ResilienceStage::payload_intact(const DataRegistry::Entry& entry,
                                      ByteSpan dst) {
@@ -24,6 +67,206 @@ bool ResilienceStage::payload_intact(const DataRegistry::Entry& entry,
   return false;
 }
 
+bool ResilienceStage::breaker_open(int target) const {
+  const TargetState& ts = targets_[static_cast<std::size_t>(target)];
+  if (!ts.breaker.open()) return false;
+  // A rank revived since the breaker last saw it reads as closed — the
+  // stale state is wiped on the next fetch's refresh_revival.
+  const auto* inj = ctx_->comm->runtime().fault_injector();
+  return inj == nullptr ||
+         inj->revive_epoch(ctx_->comm->world_rank_of(target)) ==
+             ts.seen_revive_epoch;
+}
+
+void ResilienceStage::reset_target(int target) {
+  TargetState& ts = state_of(target);
+  ts.breaker.reset();
+  ts.steer_count = 0;
+  health_.reset(static_cast<std::size_t>(target));
+}
+
+void ResilienceStage::refresh_revival(int target) {
+  const auto* inj = ctx_->comm->runtime().fault_injector();
+  if (inj == nullptr) return;
+  const std::uint32_t epoch =
+      inj->revive_epoch(ctx_->comm->world_rank_of(target));
+  TargetState& ts = state_of(target);
+  if (epoch != ts.seen_revive_epoch) {
+    // The rank came back (FaultInjector::revive): make it immediately
+    // eligible again — open breaker, quarantine score, stale EWMAs all go.
+    ts.breaker.reset();
+    ts.steer_count = 0;
+    health_.reset(static_cast<std::size_t>(target));
+    ts.seen_revive_epoch = epoch;
+  }
+}
+
+const std::vector<int>& ResilienceStage::candidate_order(int owner) {
+  const int replicas = ctx_->num_replicas();
+  const int hops = ctx_->config->retry.cross_group_failover ? replicas : 1;
+  const auto rotation = [&] {
+    order_.clear();
+    // Own group first, then sibling groups' twins in a deterministic
+    // rotation starting from this rank's replica index (PR-1 order).
+    for (int hop = 0; hop < hops; ++hop) {
+      order_.push_back(ctx_->layout->holder(
+          (ctx_->replica_index() + hop) % replicas, owner));
+    }
+  };
+  rotation();
+  for (int t : order_) refresh_revival(t);
+  if (ctx_->hedge != nullptr && order_.size() > 1) {
+    // Steering: try quarantined-but-alive targets last, keeping the
+    // rotation order within each class (stable, hence deterministic).
+    const int primary = order_.front();
+    std::stable_partition(order_.begin(), order_.end(), [this](int t) {
+      return !health_.quarantined(static_cast<std::size_t>(t));
+    });
+    if (order_.front() != primary &&
+        ++state_of(primary).steer_count % kQuarantineProbeEvery == 0) {
+      rotation();  // probation probe: keep the quarantined primary first
+    }
+  }
+  return order_;
+}
+
+int ResilienceStage::pick_backup(const std::vector<int>& candidates,
+                                 int target) const {
+  for (int c : candidates) {
+    if (c == target || breaker_open(c)) continue;
+    if (!health_.quarantined(static_cast<std::size_t>(c))) return c;
+  }
+  for (int c : candidates) {
+    if (c != target && !breaker_open(c)) return c;
+  }
+  return -1;
+}
+
+bool ResilienceStage::record_failure(int target) {
+  health_.penalize(static_cast<std::size_t>(target));
+  if (!state_of(target).breaker.on_failure()) return false;
+  ++ctx_->metrics->breaker_trips;
+  if (tracing::EventTracer* tr = ctx_->tracer()) {
+    tracing::EventArgs args;
+    args.target = ctx_->comm->world_rank_of(target);
+    tr->instant(tracing::Category::Resilience, "breaker_trip",
+                ctx_->clock().now(), args);
+  }
+  return true;
+}
+
+ResilienceStage::Attempt ResilienceStage::attempt_once(
+    std::uint64_t id, const DataRegistry::Entry& entry, MutableByteSpan dst,
+    int target, int backup, bool own_lock, bool locked, int primary,
+    double overhead_scale) {
+  auto& clock = ctx_->clock();
+  HedgeMetrics* hm = ctx_->hedge;
+  const double deadline =
+      (hm != nullptr && backup >= 0)
+          ? health_.deadline(static_cast<std::size_t>(target))
+          : std::numeric_limits<double>::infinity();
+
+  if (!std::isfinite(deadline)) {
+    // Plain clock-coupled attempt: hedging disarmed, the target is still
+    // calibrating, or no viable backup twin exists.
+    const double t0 = clock.now();
+    bool delivered = false;
+    if (own_lock) transport_->lock(target);
+    try {
+      transport_->get(dst, target, entry.offset, ctx_->nominal_sample_bytes,
+                      overhead_scale);
+      delivered = true;
+    } catch (const NetworkError&) {
+      // Transport-level failure: the time was already charged; the caller
+      // does the retry/failover bookkeeping.
+    }
+    if (own_lock) transport_->unlock(target);
+    if (delivered) {
+      health_.observe(static_cast<std::size_t>(target), clock.now() - t0);
+    }
+    return delivered ? Attempt::Primary : Attempt::Failed;
+  }
+
+  // Hedged attempt: issue the primary leg deferred, and if its modeled
+  // completion overruns the target's adaptive deadline (or the leg fails
+  // outright), race a backup get at the twin.  First response wins; the
+  // clock is monotonic, so the winner is computed before any advance.
+  const double t0 = clock.now();
+  if (own_lock) transport_->lock(target);
+  const RmaTransport::DeferredGet p = transport_->get_deferred(
+      dst, target, entry.offset, ctx_->nominal_sample_bytes, overhead_scale,
+      t0);
+  if (own_lock) transport_->unlock(target);
+  if (p.delivered && p.done - t0 <= deadline) {
+    clock.advance_to(p.done);
+    health_.observe(static_cast<std::size_t>(target), p.done - t0);
+    return Attempt::Primary;
+  }
+
+  // The backup fires when the origin gives up waiting: at the deadline, or
+  // earlier if the primary's failure is observed first.
+  ++hm->hedged_fetches;
+  double b_start = t0 + deadline;
+  if (!p.delivered) b_start = std::min(b_start, p.done);
+  if (tracing::EventTracer* tr = ctx_->tracer()) {
+    tracing::EventArgs args;
+    args.target = ctx_->comm->world_rank_of(target);
+    args.sample_id = static_cast<std::int64_t>(id);
+    args.bytes = static_cast<std::int64_t>(entry.length);
+    tr->instant(tracing::Category::Hedge, "hedge_fired", b_start, args);
+  }
+  hedge_scratch_.assign(entry.length, std::byte{0});
+  // Inside a batch lock epoch the caller may already hold the primary's
+  // lock; only take our own when the backup isn't that rank.
+  const bool backup_own_lock = !(locked && backup == primary);
+  if (backup_own_lock) transport_->lock(backup);
+  const RmaTransport::DeferredGet b = transport_->get_deferred(
+      MutableByteSpan(hedge_scratch_), backup, entry.offset,
+      ctx_->nominal_sample_bytes, overhead_scale, b_start);
+  if (backup_own_lock) transport_->unlock(backup);
+
+  if (p.delivered && b.delivered) {
+    // Both legs answered: replicas must be byte-identical twins — count
+    // (and keep the primary's bytes) if they disagree, it's a real bug or
+    // an injected corruption, and the Verify stage gets the final word.
+    if (std::memcmp(dst.data(), hedge_scratch_.data(), entry.length) != 0) {
+      ++hm->hedge_mismatches;
+    }
+    // The loser's payload is redundant wire traffic, never bytes_fetched.
+    hm->hedge_cancelled_bytes += entry.length;
+    if (b.done < p.done) {
+      std::memcpy(dst.data(), hedge_scratch_.data(), entry.length);
+      ++hm->hedge_wins;
+    }
+    clock.advance_to(std::min(p.done, b.done));
+    health_.observe(static_cast<std::size_t>(target), p.done - t0);
+    health_.observe(static_cast<std::size_t>(backup), b.done - b_start);
+    state_of(backup).breaker.on_success();
+    return Attempt::Primary;
+  }
+  if (p.delivered) {
+    // Primary answered late but the backup failed outright.
+    clock.advance_to(p.done);
+    health_.observe(static_cast<std::size_t>(target), p.done - t0);
+    record_failure(backup);
+    return Attempt::Primary;
+  }
+  if (b.delivered) {
+    // The hedge saved the fetch: primary leg failed, backup delivered.
+    std::memcpy(dst.data(), hedge_scratch_.data(), entry.length);
+    ++hm->hedge_wins;
+    clock.advance_to(b.done);
+    health_.observe(static_cast<std::size_t>(backup), b.done - b_start);
+    state_of(backup).breaker.on_success();
+    record_failure(target);
+    return Attempt::Backup;
+  }
+  // Both legs failed: the origin has waited out both probes.
+  clock.advance_to(std::max(p.done, b.done));
+  record_failure(backup);
+  return Attempt::Failed;  // the caller records the primary leg's failure
+}
+
 void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
                             MutableByteSpan dst, bool locked,
                             double overhead_scale) {
@@ -31,28 +274,37 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
   FetchMetrics& m = *ctx_->metrics;
   const int owner = static_cast<int>(entry.owner);
   const int primary = ctx_->primary_target(owner);
-  const int replicas = ctx_->num_replicas();
-  const int hops = rp.cross_group_failover ? replicas : 1;
+  const std::vector<int>& order = candidate_order(owner);
+  if (ctx_->hedge != nullptr && order.front() != primary) {
+    // Steering demoted a quarantined primary: this fetch routes around a
+    // degraded-but-alive rank before any breaker has tripped.
+    ++ctx_->hedge->quarantine_steers;
+    if (tracing::EventTracer* tr = ctx_->tracer()) {
+      tracing::EventArgs args;
+      args.target = ctx_->comm->world_rank_of(primary);
+      args.sample_id = static_cast<std::int64_t>(id);
+      tr->instant(tracing::Category::Hedge, "quarantine_steer",
+                  ctx_->clock().now(), args);
+    }
+  }
 
-  for (int hop = 0; hop < hops; ++hop) {
-    // Candidate order: own group first, then sibling groups' twins in a
-    // deterministic rotation starting from this rank's replica index.
-    const int target =
-        ctx_->layout->holder((ctx_->replica_index() + hop) % replicas, owner);
-    TargetHealth& health = health_[static_cast<std::size_t>(target)];
-    if (health.skip_remaining > 0) {
+  for (const int target : order) {
+    if (state_of(target).breaker.should_skip()) {
       // Breaker open: don't hammer a target that just failed repeatedly.
-      --health.skip_remaining;
+      // The skip that exhausts the cooldown arms the half-open probe.
       continue;
     }
     // Inside a batch lock epoch the primary is already locked by the
     // caller; failover targets always take their own shared lock.
     const bool own_lock = !(locked && target == primary);
-    for (int attempt = 1; attempt <= rp.max_attempts; ++attempt) {
+    const int backup =
+        ctx_->hedge != nullptr ? pick_backup(order, target) : -1;
+    bool abandon = false;
+    for (int attempt = 1; attempt <= rp.max_attempts && !abandon; ++attempt) {
       if (attempt > 1) {
         double delay = rp.backoff_base_s;
         for (int i = 2; i < attempt; ++i) delay *= rp.backoff_multiplier;
-        delay *= 1.0 + rp.backoff_jitter * ctx_->comm->rng().uniform();
+        delay *= 1.0 + rp.backoff_jitter * backoff_rng_.uniform();
         tracing::Span backoff(ctx_->tracer(), ctx_->clock(),
                               tracing::Category::Resilience, "backoff");
         backoff.args().target = ctx_->comm->world_rank_of(target);
@@ -61,24 +313,17 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
         ctx_->clock().advance(delay);
         ++m.retries;
       }
-      bool delivered = false;
-      if (own_lock) transport_->lock(target);
-      try {
-        transport_->get(dst, target, entry.offset,
-                        ctx_->nominal_sample_bytes, overhead_scale);
-        delivered = true;
-      } catch (const NetworkError&) {
-        // Transport-level failure: the time was already charged; fall
-        // through to the retry/failover bookkeeping.
-      }
-      if (own_lock) transport_->unlock(target);
-      if (delivered && payload_intact(entry, ByteSpan(dst))) {
-        health.consecutive_failures = 0;
-        if (target != primary) {
+      const Attempt got = attempt_once(id, entry, dst, target, backup,
+                                       own_lock, locked, primary,
+                                       overhead_scale);
+      if (got != Attempt::Failed && payload_intact(entry, ByteSpan(dst))) {
+        const int served = got == Attempt::Backup ? backup : target;
+        if (got == Attempt::Primary) state_of(target).breaker.on_success();
+        if (served != primary) {
           ++m.failovers;
           if (tracing::EventTracer* tr = ctx_->tracer()) {
             tracing::EventArgs args;
-            args.target = ctx_->comm->world_rank_of(target);
+            args.target = ctx_->comm->world_rank_of(served);
             args.sample_id = static_cast<std::int64_t>(id);
             tr->instant(tracing::Category::Resilience, "failover",
                         ctx_->clock().now(), args);
@@ -86,19 +331,10 @@ void ResilienceStage::fetch(std::uint64_t id, const DataRegistry::Entry& entry,
         }
         return;
       }
-      ++health.consecutive_failures;
-      if (health.consecutive_failures >= rp.breaker_threshold) {
-        health.consecutive_failures = 0;
-        health.skip_remaining = rp.breaker_cooldown_fetches;
-        ++m.breaker_trips;
-        if (tracing::EventTracer* tr = ctx_->tracer()) {
-          tracing::EventArgs args;
-          args.target = ctx_->comm->world_rank_of(target);
-          tr->instant(tracing::Category::Resilience, "breaker_trip",
-                      ctx_->clock().now(), args);
-        }
-        break;  // give up on this target, move to the next candidate
-      }
+      // Failed attempt (a checksum mismatch on a served payload counts
+      // against the addressed target too); a breaker trip abandons the
+      // target and moves to the next candidate.
+      abandon = record_failure(target);
     }
   }
 

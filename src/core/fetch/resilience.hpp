@@ -1,36 +1,57 @@
-// Resilience stage: retry, circuit breakers, cross-group failover, and the
-// degraded-mode filesystem fallback, wrapped around the Transport stage.
+// Resilience stage: retry, circuit breakers, cross-group failover, hedged
+// fetches, health-scored steering, and the degraded-mode filesystem
+// fallback, wrapped around the Transport stage.
 //
 // The stage wraps any transport the engine points it at: it decides *which*
 // target to ask and *how often*, and delegates the actual wire work (and
-// the injected chaos) to RmaTransport.  With fault injection off, none of
-// this machinery fires — a fetch is one transport get.
+// the injected chaos) to RmaTransport.  With fault injection off and
+// hedging disabled, none of this machinery fires — a fetch is one
+// transport get.
+//
+// Crash-robustness (PR 1): per-target retry with jittered backoff, a
+// three-state circuit breaker (see health.hpp), failover across replica
+// groups, and finally the FS fallback.
+//
+// Latency-robustness (this PR, gated on DDStoreConfig::hedge.enabled):
+//  * candidate steering — quarantined-but-alive targets (health score
+//    below the threshold) are tried last instead of first;
+//  * hedged gets — when a fetch's modeled completion exceeds the target's
+//    adaptive deadline, a backup get races it at the sample's twin in a
+//    sibling replica group; first response wins, both-delivered payloads
+//    are verified byte-identical, and the loser's bytes are counted as
+//    cancelled (never into bytes_fetched).
+//
+// Health bookkeeping (service-time EWMAs, penalties) runs even with
+// hedging off: it costs zero virtual time and no counters, and gives the
+// elastic driver its continuous per-rank HealthScore signal in every
+// configuration.
 //
 // Stage-ordering invariant (see DESIGN.md): the Cache stage runs before
 // this one, so cache hits never consume retry budget, never count against a
 // target's breaker, and never reach the filesystem fallback.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/fetch/context.hpp"
+#include "core/fetch/health.hpp"
 #include "core/fetch/transport.hpp"
 
 namespace dds::core::fetch {
 
 class ResilienceStage {
  public:
-  ResilienceStage(const FetchContext& ctx, RmaTransport& transport)
-      : ctx_(&ctx),
-        transport_(&transport),
-        health_(static_cast<std::size_t>(ctx.comm->size())) {}
+  ResilienceStage(const FetchContext& ctx, RmaTransport& transport);
 
   /// Fetches one sample's bytes with the full policy: retry with backoff
-  /// per target, trip circuit breakers, fail over across replica groups,
-  /// and finally fall back to the filesystem.  `locked` means the caller
-  /// already holds a batch-wide lock epoch on the sample's primary target;
-  /// `overhead_scale` discounts the per-get software overhead inside such
-  /// an epoch.  Throws IoError if every route is exhausted.
+  /// per target, trip circuit breakers, fail over across replica groups
+  /// (hedging and steering when armed), and finally fall back to the
+  /// filesystem.  `locked` means the caller already holds a batch-wide
+  /// lock epoch on the sample's primary target; `overhead_scale` discounts
+  /// the per-get software overhead inside such an epoch.  Throws IoError
+  /// if every route is exhausted.
   void fetch(std::uint64_t id, const DataRegistry::Entry& entry,
              MutableByteSpan dst, bool locked, double overhead_scale);
 
@@ -39,29 +60,90 @@ class ResilienceStage {
   /// checksum failure when it lies.
   bool payload_intact(const DataRegistry::Entry& entry, ByteSpan dst);
 
-  /// True while `target`'s circuit breaker is open (cooldown skips left).
-  /// The elastic driver reads this as its dead-rank suspicion signal.
-  bool breaker_open(int target) const {
-    return health_.at(static_cast<std::size_t>(target)).skip_remaining > 0;
+  /// True while `target`'s circuit breaker is open.  A revival of the
+  /// target since the breaker last observed it reads as closed — a revived
+  /// rank is immediately eligible again (the stale state is lazily reset
+  /// on the next fetch).
+  bool breaker_open(int target) const;
+
+  /// Continuous health of one comm-rank target in [0, 1]: 0 while its
+  /// breaker is open, otherwise the HealthTracker score.  The elastic
+  /// driver aggregates this as its dead-rank suspicion signal.
+  double health_score(int target) const {
+    return breaker_open(target)
+               ? 0.0
+               : health_.score(static_cast<std::size_t>(target));
   }
 
   /// Forgets `target`'s failure history — called after the elastic
   /// fault-recovery hook rebuilds a revived rank's chunk, so fetches
   /// resume trying it immediately instead of waiting out the cooldown.
-  void reset_target(int target) {
-    health_.at(static_cast<std::size_t>(target)) = TargetHealth{};
-  }
+  void reset_target(int target);
+
+  const HealthTracker& health() const { return health_; }
 
  private:
-  /// Per-target (comm rank) circuit-breaker state, local to this rank.
-  struct TargetHealth {
-    int consecutive_failures = 0;
-    int skip_remaining = 0;  ///< breaker open: fetches left to skip
+  /// Per-target (comm rank) breaker state plus the last revival epoch this
+  /// stage observed for the rank (injector generation counter).
+  struct TargetState {
+    CircuitBreaker breaker;
+    std::uint32_t seen_revive_epoch = 0;
+    /// Times this target was demoted as a quarantined primary; every
+    /// kQuarantineProbeEvery-th demotion becomes a probation probe instead
+    /// (the rotation order is kept), so the health tracker keeps observing
+    /// the rank and a recovered one can earn its way back — pure steering
+    /// would starve the EWMA and quarantine forever.
+    std::uint32_t steer_count = 0;
   };
+
+  /// How one transfer attempt ended: nothing delivered, the addressed
+  /// target delivered, or the hedge backup's response won.
+  enum class Attempt { Failed, Primary, Backup };
+
+  TargetState& state_of(int target) {
+    return targets_[static_cast<std::size_t>(target)];
+  }
+
+  /// Lazily clears breaker + health state for a target whose rank was
+  /// revived since this stage last looked (satellite of the revive fix:
+  /// no collective reset needed for eligibility).
+  void refresh_revival(int target);
+
+  /// Builds the candidate target order for one fetch (into the reused
+  /// `order_` scratch): the deterministic replica rotation, with
+  /// quarantined candidates demoted to the back (stable) when steering is
+  /// armed.  Also lazily absorbs revivals for every candidate.
+  const std::vector<int>& candidate_order(int owner);
+
+  /// Picks the hedge backup for `target` from `candidates`: the first
+  /// other candidate that is neither breaker-open nor quarantined (then
+  /// the first merely non-open one), or -1.
+  int pick_backup(const std::vector<int>& candidates, int target) const;
+
+  /// One transfer attempt at `target`, hedged when armed and calibrated.
+  /// On Attempt::Backup the helper has already recorded the backup's
+  /// bookkeeping and the primary's failure penalty/breaker strike.
+  Attempt attempt_once(std::uint64_t id, const DataRegistry::Entry& entry,
+                       MutableByteSpan dst, int target, int backup,
+                       bool own_lock, bool locked, int primary,
+                       double overhead_scale);
+
+  /// Records one failed attempt at `target`: health penalty plus breaker
+  /// strike; returns true when the strike tripped the breaker (counted and
+  /// traced here).
+  bool record_failure(int target);
 
   const FetchContext* ctx_;
   RmaTransport* transport_;
-  std::vector<TargetHealth> health_;
+  std::vector<TargetState> targets_;
+  HealthTracker health_;
+  /// Backoff jitter draws from a stage-private stream seeded by world
+  /// rank, never from the rank's shared Comm RNG: other consumers of that
+  /// RNG (brokers, prefetch jitter) must not shift resilient-path virtual
+  /// times between runs or thread interleavings.
+  Rng backoff_rng_;
+  std::vector<int> order_;    ///< candidate_order scratch (reused per fetch)
+  ByteBuffer hedge_scratch_;  ///< backup leg's landing buffer
 };
 
 }  // namespace dds::core::fetch

@@ -19,40 +19,65 @@ void RmaTransport::lock(int target) {
 
 void RmaTransport::unlock(int target) { ctx_->window->unlock(target); }
 
-bool RmaTransport::resolve_fault(int target, double overhead_scale,
-                                 const char* what) {
+RmaTransport::FaultDecision RmaTransport::decide_fault(int target,
+                                                       double overhead_scale,
+                                                       double now) {
+  FaultDecision d;
   auto& rt = ctx_->comm->runtime();
   auto* inj = rt.fault_injector();
   const int origin_world = ctx_->comm->world_rank();
   const int target_world = ctx_->comm->world_rank_of(target);
-  if (inj == nullptr || origin_world == target_world) return false;
+  if (inj == nullptr || origin_world == target_world) return d;
 
-  auto& clock = ctx_->clock();
-  if (inj->target_dead(target_world, clock.now())) {
-    // A dead target never answers: charge the origin the cost of a small
-    // probe (the rendezvous that times out) and report the failure.
-    const double failed = rt.network().rma_get_time(
-        origin_world, target_world, 64, clock.now(), overhead_scale);
-    clock.advance_to(failed);
-    throw NetworkError(std::string(what) + " failed: target rank " +
-                       std::to_string(target_world) + " is dead");
+  if (inj->target_dead(target_world, now)) {
+    // A dead target never answers: the origin pays for a small probe (the
+    // rendezvous that times out) and observes the failure.
+    d.fail = true;
+    d.fail_done = rt.network().rma_get_time(origin_world, target_world, 64,
+                                            now, overhead_scale);
+    return d;
   }
+  const faults::LinkOutcome link =
+      inj->link_outcome(origin_world, target_world, now);
+  if (link.drop) {
+    // Partitioned or lost in transit: same timed-out probe as a failure.
+    d.fail = true;
+    d.fail_done = rt.network().rma_get_time(origin_world, target_world, 64,
+                                            now, overhead_scale);
+    return d;
+  }
+  d.extra_latency_s = link.extra_latency_s;
   switch (inj->rma_outcome(origin_world)) {
     case faults::GetOutcome::Ok:
-      return false;
-    case faults::GetOutcome::Fail: {
-      const double failed = rt.network().rma_get_time(
-          origin_world, target_world, 64, clock.now(), overhead_scale);
-      clock.advance_to(failed);
-      throw NetworkError(std::string(what) +
-                         " failed: transient transport fault from " +
-                         std::to_string(origin_world) + " to " +
-                         std::to_string(target_world));
-    }
+      break;
+    case faults::GetOutcome::Fail:
+      d.fail = true;
+      d.fail_done = rt.network().rma_get_time(origin_world, target_world, 64,
+                                              now, overhead_scale);
+      break;
     case faults::GetOutcome::Corrupt:
-      return true;
+      d.corrupt = true;
+      break;
   }
-  return false;
+  return d;
+}
+
+bool RmaTransport::resolve_fault(int target, double overhead_scale,
+                                 const char* what) {
+  auto& clock = ctx_->clock();
+  const FaultDecision d = decide_fault(target, overhead_scale, clock.now());
+  if (d.fail) {
+    clock.advance_to(d.fail_done);
+    throw NetworkError(std::string(what) + " failed: transfer from " +
+                       std::to_string(ctx_->comm->world_rank()) + " to " +
+                       std::to_string(ctx_->comm->world_rank_of(target)) +
+                       " died (dead target, partition, loss, or transient "
+                       "fault)");
+  }
+  // Link jitter delays the transfer: the origin's issue point slips, so
+  // the completion (and queue occupancy) shift by the same amount.
+  if (d.extra_latency_s > 0.0) clock.advance(d.extra_latency_s);
+  return d.corrupt;
 }
 
 void RmaTransport::get(MutableByteSpan dst, int target, std::size_t offset,
@@ -73,6 +98,28 @@ void RmaTransport::get(MutableByteSpan dst, int target, std::size_t offset,
     dst[inj->corrupt_byte(ctx_->comm->world_rank(), dst.size())] ^=
         std::byte{0xFF};
   }
+}
+
+RmaTransport::DeferredGet RmaTransport::get_deferred(
+    MutableByteSpan dst, int target, std::size_t offset,
+    std::uint64_t charge_bytes, double overhead_scale, double start) {
+  ++ctx_->metrics->rma_transfers;
+  DeferredGet out;
+  const FaultDecision d = decide_fault(target, overhead_scale, start);
+  if (d.fail) {
+    out.done = d.fail_done;
+    return out;
+  }
+  out.done = ctx_->window->get_at(dst, target, offset,
+                                  start + d.extra_latency_s, charge_bytes,
+                                  overhead_scale);
+  out.delivered = true;
+  if (d.corrupt && !dst.empty()) {
+    auto* inj = ctx_->comm->runtime().fault_injector();
+    dst[inj->corrupt_byte(ctx_->comm->world_rank(), dst.size())] ^=
+        std::byte{0xFF};
+  }
+  return out;
 }
 
 void RmaTransport::getv(std::span<const simmpi::Window::GetSegment> segments,

@@ -13,11 +13,21 @@
 //  * faults apply only to remote transfers (origin != target world rank);
 //  * a dead target charges a 64-byte probe (the rendezvous that times out)
 //    and throws NetworkError — no RNG draw consumed;
+//  * link phases (gray failures) are consulted next: a partitioned or lost
+//    transfer charges the probe and throws, jitter stretches the eventual
+//    completion — two draws from the origin's dedicated link stream per
+//    remote transfer, only when link faults are configured at all;
 //  * otherwise exactly one outcome draw per transfer: Fail charges the same
 //    probe and throws; Corrupt performs the real transfer then flips one
 //    byte of the destination (for a vectored get, one byte somewhere in the
 //    concatenated payload), leaving the exposed region intact so a retry or
 //    the registry checksum can recover the true bytes.
+//
+// Hedged transfers use get_deferred: the same fault semantics, but decided
+// and priced against an explicit issue time, with the completion returned
+// to the caller instead of advancing the clock — the resilience stage
+// commits min(primary, backup) afterwards (the virtual clock is monotonic,
+// so first-response-wins must be computed before any advance).
 #pragma once
 
 #include <cstdint>
@@ -47,11 +57,43 @@ class RmaTransport {
   void getv(std::span<const simmpi::Window::GetSegment> segments, int target,
             std::uint64_t charge_bytes);
 
+  /// Outcome of one deferred (hedged) get: whether the payload landed in
+  /// the destination buffer, and the modeled completion time of the
+  /// attempt (success or failure) relative to its issue time.
+  struct DeferredGet {
+    bool delivered = false;
+    double done = 0.0;
+  };
+
+  /// One get modeled as issued at virtual time `start`, inside an active
+  /// lock epoch on `target`; counted in rma_transfers.  Never advances the
+  /// clock and never throws on injected faults — the fate (including the
+  /// failed-probe cost) is reported in the returned DeferredGet so a
+  /// hedging caller can race two legs and commit only the winner's time.
+  DeferredGet get_deferred(MutableByteSpan dst, int target, std::size_t offset,
+                           std::uint64_t charge_bytes, double overhead_scale,
+                           double start);
+
  private:
-  /// Resolves the injected fate of one remote transfer: returns true when
-  /// the payload must be corrupted after the real transfer, false for a
-  /// clean delivery, and throws (after charging the failed probe) when the
-  /// transfer dies.
+  /// Injected fate of one remote transfer decided at time `now`.  `fail`
+  /// means no data (the caller charges `fail_done`, the timed-out probe's
+  /// completion); otherwise `extra_latency_s` stretches the completion and
+  /// `corrupt` flips one destination byte after the real transfer.
+  struct FaultDecision {
+    bool fail = false;
+    double fail_done = 0.0;
+    bool corrupt = false;
+    double extra_latency_s = 0.0;
+  };
+
+  /// Consults the armed injector (dead targets, link phases, RMA outcome
+  /// draw) for a transfer issued at `now`.  Returns a no-fault decision
+  /// when injection is off or the transfer is local.
+  FaultDecision decide_fault(int target, double overhead_scale, double now);
+
+  /// Legacy throwing wrapper around decide_fault for the clock-coupled
+  /// paths: charges the failed probe and throws NetworkError on `fail`,
+  /// advances the clock by any jitter, returns the corrupt flag.
   bool resolve_fault(int target, double overhead_scale, const char* what);
 
   const FetchContext* ctx_;

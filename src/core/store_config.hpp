@@ -66,6 +66,32 @@ struct RetryPolicy {
   bool verify_checksums = true;
 };
 
+/// Gray-failure (latency-robustness) policy: hedged backup fetches plus
+/// health-scored candidate steering.  A fetch whose modeled completion
+/// exceeds the target's adaptive deadline (per-target EWMA + sigma *
+/// EW-deviation, a p99-ish bound) fires one backup get at the sample's
+/// twin in a sibling replica group; the first response wins, and when both
+/// land the payloads are verified byte-identical.  Separately, targets
+/// whose continuous health score drops below the quarantine threshold are
+/// steered around (tried last) before any breaker declares them dead.
+///
+/// Off by default: no hedge counters are registered and the fetch path is
+/// byte-identical to the unhedged store — the committed CI perf baseline
+/// relies on this, exactly like DDStoreConfig::elastic.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Deadline = EWMA + deadline_sigma * EW-deviation, >= deadline_floor_s.
+  double deadline_sigma = 4.0;
+  double deadline_floor_s = 50e-6;
+  /// Observations of a target before its deadline/score are trusted
+  /// (no hedging, no quarantine until calibrated).
+  int min_observations = 8;
+  /// EWMA smoothing factor for per-target service times.
+  double health_alpha = 0.2;
+  /// Health score below which a target is quarantined (steered around).
+  double quarantine_below = 0.3;
+};
+
 struct DDStoreConfig {
   /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
   /// the paper's default).  comm.size() must be divisible by width.
@@ -100,6 +126,9 @@ struct DDStoreConfig {
   /// perf baseline that serializes it — is byte-identical to the static
   /// store.
   bool elastic = false;
+  /// Gray-failure robustness: hedged fetches + health steering (see
+  /// HedgePolicy).  Off by default for the same baseline reason.
+  HedgePolicy hedge;
 };
 
 /// A point-in-time view over the store's MetricsRegistry, materialized by
@@ -146,6 +175,18 @@ struct DDStoreStats {
   std::uint64_t cache_misses = 0;     ///< unique lookups that went to fetch
   std::uint64_t cache_evictions = 0;  ///< entries displaced by inserts
   std::uint64_t cache_hit_bytes = 0;  ///< actual payload bytes served hot
+
+  // Hedging counters (all zero unless DDStoreConfig::hedge.enabled).
+  std::uint64_t hedged_fetches = 0;   ///< backup gets fired past a deadline
+  std::uint64_t hedge_wins = 0;       ///< fetches the backup response won
+  std::uint64_t hedge_mismatches = 0; ///< twin payloads that disagreed
+  /// Redundant wire bytes of the losing response when both legs of a hedge
+  /// delivered (the cancellation cost; never double-counted into
+  /// bytes_fetched, which records each sample once).
+  std::uint64_t hedge_cancelled_bytes = 0;
+  /// Fetches whose candidate order demoted a quarantined-but-alive primary
+  /// (health steering engaged before any breaker opened).
+  std::uint64_t quarantine_steers = 0;
 
   // Elastic counters (all zero unless DDStoreConfig::elastic is on).
   std::uint64_t reshards = 0;            ///< adopted layout swaps

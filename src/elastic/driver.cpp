@@ -50,19 +50,23 @@ void ElasticDriver::recover_faults() {
   simmpi::Comm& comm = store_.comm();
   const int n = comm.size();
 
-  // OR-reduce every rank's breaker suspicions (untimed: bookkeeping, not
-  // simulated traffic).  The result is identical on all ranks, which keeps
-  // the rebuild below collective.
-  std::vector<std::uint8_t> suspect(static_cast<std::size_t>(n), 0);
+  // Min-reduce every rank's continuous health scores (untimed:
+  // bookkeeping, not simulated traffic).  A target is suspect when ANY
+  // rank scores it below the threshold; an open breaker reads as score 0,
+  // so the PR-1 binary breaker-OR signal is the degenerate case.  The
+  // result is identical on all ranks, which keeps the rebuild below
+  // collective.
+  std::vector<double> score(static_cast<std::size_t>(n), 1.0);
   for (int t = 0; t < n; ++t) {
-    suspect[static_cast<std::size_t>(t)] = store_.breaker_open(t) ? 1 : 0;
+    score[static_cast<std::size_t>(t)] = store_.health_score(t);
   }
-  const std::vector<std::uint8_t> all =
-      comm.allgatherv_untimed(std::span<const std::uint8_t>(suspect));
+  const std::vector<double> all =
+      comm.allgatherv_untimed(std::span<const double>(score));
   for (int r = 0; r < n; ++r) {
     for (int t = 0; t < n; ++t) {
-      suspect[static_cast<std::size_t>(t)] |=
-          all[static_cast<std::size_t>(r * n + t)];
+      score[static_cast<std::size_t>(t)] =
+          std::min(score[static_cast<std::size_t>(t)],
+                   all[static_cast<std::size_t>(r * n + t)]);
     }
   }
 
@@ -72,7 +76,7 @@ void ElasticDriver::recover_faults() {
   const double now = *std::max_element(clocks.begin(), clocks.end());
 
   for (int t = 0; t < n; ++t) {
-    if (suspect[static_cast<std::size_t>(t)] == 0) continue;
+    if (score[static_cast<std::size_t>(t)] >= config_.suspect_below) continue;
     const int world = comm.world_rank_of(t);
     if (!injector->target_dead(world, now)) continue;  // straggler, not dead
     if (store_.num_replicas() < 2) continue;  // no twin: stay degraded

@@ -2,11 +2,12 @@
 //
 // Called collectively once per epoch (e.g. from the trainer's epoch-end
 // hook), it runs three steps in order:
-//   1. fault recovery — ranks exchange their circuit-breaker suspicions
-//      (untimed OR-reduce), confirm suspects against the fault injector's
-//      ground truth at a uniform virtual time, and rebuild each confirmed
-//      dead rank's chunk from a surviving twin (then revive the rank and
-//      reset its breakers everywhere) instead of serving degraded forever;
+//   1. fault recovery — ranks exchange their continuous per-target health
+//      scores (untimed min-reduce; an open breaker scores 0), confirm
+//      low-scoring suspects against the fault injector's ground truth at a
+//      uniform virtual time, and rebuild each confirmed dead rank's chunk
+//      from a surviving twin (then revive the rank and reset its health
+//      everywhere) instead of serving degraded forever;
 //   2. observation — per-epoch counter and latency deltas are aggregated
 //      across ranks with untimed collectives into one WidthObservation
 //      every rank sees identically;
@@ -32,6 +33,12 @@ struct ElasticConfig {
   bool adapt_width = true;
   /// Rebuild a confirmed-dead rank's chunk from a surviving twin group.
   bool rebuild_on_fault = true;
+  /// A target whose min-reduced health score falls below this is suspected
+  /// dead and checked against ground truth.  An open breaker scores 0, so
+  /// the PR-1 binary breaker signal is a special case; with hedging armed,
+  /// quarantined gray ranks surface here too (false suspicions cost one
+  /// injector lookup and are dropped).
+  double suspect_below = 0.3;
   /// Per-rank chunk memory budget in nominal bytes (0 = unlimited).
   std::uint64_t memory_budget_per_rank = 0;
   int amortize_epochs = 4;

@@ -1,0 +1,216 @@
+#include "faults/chaos.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dds::faults {
+
+namespace {
+
+std::string format(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return std::string(buf);
+}
+
+}  // namespace
+
+FaultConfig materialize(const FaultConfig& normalized, double epoch_s) {
+  FaultConfig out = normalized;
+  for (SlowdownPhase& p : out.slowdowns) {
+    p.start_s *= epoch_s;
+    p.end_s *= epoch_s;  // infinity stays infinity
+  }
+  for (LinkPhase& p : out.links) {
+    p.start_s *= epoch_s;
+    p.end_s *= epoch_s;
+  }
+  for (DeathPhase& p : out.deaths) p.at_s *= epoch_s;
+  return out;
+}
+
+std::vector<ChaosScenario> builtin_scenarios(int nranks) {
+  // Rank picks wrap so the catalog stays valid for any nranks >= 2; at the
+  // runner's default (4 ranks, width 2) they hit distinct replica pairs.
+  const int r1 = 1 % nranks;
+  const int r2 = 2 % nranks;
+  const int r3 = 3 % nranks;
+  std::vector<ChaosScenario> out;
+
+  {
+    ChaosScenario s;
+    s.name = "baseline_no_faults";
+    s.max_inflation = 1.5;
+    s.note = "hedging armed but nothing injected: no hedge may ever fire";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "single_straggler";
+    SlowdownPhase p;
+    p.rank = r1;
+    p.factor = 10.0;
+    p.start_s = 1.5;  // mid-epoch onset, after deadline calibration
+    s.faults.slowdowns.push_back(p);
+    s.max_inflation = 6.0;
+    s.note = "one rank's NIC degrades 10x mid-run and never recovers; "
+             "hedged A/B p99 cell is pinned on this scenario";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "flaky_window";
+    SlowdownPhase p;
+    p.rank = r2;
+    p.factor = 8.0;
+    p.start_s = 1.0;
+    p.end_s = 1.8;
+    s.faults.slowdowns.push_back(p);
+    p.start_s = 2.6;
+    p.end_s = 3.4;
+    s.faults.slowdowns.push_back(p);
+    s.max_inflation = 6.0;
+    s.note = "a rank oscillates between degraded and healthy; health "
+             "score must recover between windows";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "link_jitter_loss";
+    LinkPhase p;
+    p.target = r3;
+    p.loss_prob = 0.05;
+    p.jitter_mean_s = 200e-6;
+    p.start_s = 1.0;
+    p.end_s = 3.0;
+    s.faults.links.push_back(p);
+    s.max_inflation = 4.0;
+    s.note = "every path into one rank gains loss and exponential jitter "
+             "for two epochs";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "partition_heal";
+    LinkPhase p;
+    p.target = r2;
+    p.partition = true;
+    p.start_s = 1.5;
+    p.end_s = 2.5;
+    s.faults.links.push_back(p);
+    s.max_inflation = 6.0;
+    s.note = "one rank is unreachable for an epoch then heals; twins carry "
+             "its chunk, no degraded reads allowed";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "dead_twin_rebuild";
+    DeathPhase p;
+    p.rank = r1;
+    p.at_s = 1.5;
+    s.faults.deaths.push_back(p);
+    s.wants_elastic = true;
+    s.max_inflation = 6.0;
+    s.note = "a rank dies; the elastic driver must suspect it via health "
+             "scores, confirm, rebuild its chunk from the twin, revive";
+    out.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "compound_gray";
+    SlowdownPhase sp;
+    sp.rank = r1;
+    sp.factor = 4.0;
+    sp.start_s = 1.0;
+    sp.end_s = 3.5;
+    s.faults.slowdowns.push_back(sp);
+    sp.rank = r3;
+    sp.factor = 6.0;
+    sp.start_s = 2.0;
+    sp.end_s = 2.5;
+    s.faults.slowdowns.push_back(sp);
+    LinkPhase lp;
+    lp.target = r2;
+    lp.loss_prob = 0.03;
+    lp.jitter_mean_s = 100e-6;
+    lp.start_s = 1.5;
+    lp.end_s = 3.5;
+    s.faults.links.push_back(lp);
+    s.max_inflation = 8.0;
+    s.note = "straggler + flaky window + lossy jittery links, overlapping";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+InvariantChecker::InvariantChecker(double reference_epoch_s,
+                                   double max_inflation)
+    : reference_epoch_s_(reference_epoch_s), max_inflation_(max_inflation) {}
+
+void InvariantChecker::on_epoch(int epoch, const EpochOutcome& outcome) {
+  if (!outcome.samples_identical) {
+    violations_.push_back("epoch " + std::to_string(epoch) +
+                          ": a fetched sample differed from ground truth");
+  }
+  if (!std::isfinite(outcome.epoch_s) || outcome.epoch_s <= 0.0) {
+    violations_.push_back("epoch " + std::to_string(epoch) +
+                          ": non-finite or non-positive duration");
+    return;
+  }
+  const double bound = max_inflation_ * reference_epoch_s_;
+  if (outcome.epoch_s > bound) {
+    violations_.push_back(
+        "epoch " + std::to_string(epoch) + ": duration " +
+        format("%.6f s exceeds inflation bound %.6f s", outcome.epoch_s,
+               bound));
+  }
+}
+
+void InvariantChecker::on_counters(const CounterAudit& audit,
+                                   bool allows_degraded) {
+  if (audit.hedge_wins > audit.hedged_fetches) {
+    violations_.push_back("counters: hedge_wins " +
+                          std::to_string(audit.hedge_wins) +
+                          " exceeds hedged_fetches " +
+                          std::to_string(audit.hedged_fetches));
+  }
+  if (audit.hedge_mismatches != 0) {
+    violations_.push_back("counters: " +
+                          std::to_string(audit.hedge_mismatches) +
+                          " hedge twin payload mismatches");
+  }
+  if (audit.checksum_failures != 0) {
+    // None of the built-in scenarios injects corruption, so any checksum
+    // rejection means a fault leaked damaged bytes past the transport.
+    violations_.push_back("counters: " +
+                          std::to_string(audit.checksum_failures) +
+                          " checksum failures without corruption armed");
+  }
+  if (!allows_degraded && audit.degraded_reads != 0) {
+    violations_.push_back("counters: " + std::to_string(audit.degraded_reads) +
+                          " degraded FS reads in a scenario where every "
+                          "sample stays reachable in memory");
+  }
+}
+
+void InvariantChecker::on_replay(std::span<const double> run,
+                                 std::span<const double> replay) {
+  if (run.size() != replay.size()) {
+    violations_.push_back("replay: epoch count differs (" +
+                          std::to_string(run.size()) + " vs " +
+                          std::to_string(replay.size()) + ")");
+    return;
+  }
+  for (std::size_t e = 0; e < run.size(); ++e) {
+    // Bit-equality, no tolerance: same seed must replay the exact virtual
+    // timeline.
+    if (run[e] != replay[e]) {
+      violations_.push_back(
+          "replay: epoch " + std::to_string(e) + " duration " +
+          format("%.17g != %.17g (not bit-identical)", run[e], replay[e]));
+    }
+  }
+}
+
+}  // namespace dds::faults

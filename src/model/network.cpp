@@ -28,7 +28,7 @@ double NetworkModel::rma_get_time(int origin, int target, std::uint64_t bytes,
   // A straggling target serves every remote read slower: both the per-op
   // software overhead (its CPU answers the rendezvous) and the transfer
   // itself (its NIC drains at degraded speed) stretch by the scale factor.
-  const double scale = rank_scale_[static_cast<std::size_t>(target)];
+  const double scale = scale_at(target, start);
   if (same_node(origin, target)) {
     const double duration =
         scale * static_cast<double>(bytes) / p.intra_bandwidth_Bps;
@@ -60,7 +60,7 @@ double NetworkModel::rma_getv_time(int origin, int target,
     return start + p.rma_local_overhead_s + seg_extra +
            static_cast<double>(bytes) / machine_.cpu.memcpy_bandwidth_Bps;
   }
-  const double scale = rank_scale_[static_cast<std::size_t>(target)];
+  const double scale = scale_at(target, start);
   if (same_node(origin, target)) {
     const double duration =
         scale * static_cast<double>(bytes) / p.intra_bandwidth_Bps;

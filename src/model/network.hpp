@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "model/clock.hpp"
@@ -77,6 +78,16 @@ class NetworkModel {
     return rank_scale_.at(static_cast<std::size_t>(rank));
   }
 
+  /// Installs a *time-varying* service-scale source consulted per RMA
+  /// transfer (gray-failure slowdown phases): the returned factor
+  /// multiplies the static set_service_scale value for the transfer's
+  /// target at its issue time.  Pass nullptr to clear.  With no source
+  /// installed the timing arithmetic is bit-identical to the static model
+  /// (the committed perf baselines rely on this).
+  void set_dynamic_scale(std::function<double(int rank, double now)> fn) {
+    dynamic_scale_ = std::move(fn);
+  }
+
   /// Clears all NIC busy state (between epochs/runs).  Service-scale
   /// degradations persist; clear them via set_service_scale.
   void reset();
@@ -89,9 +100,17 @@ class NetworkModel {
   const MachineConfig machine_;
   int nranks_;
   int nnodes_;
+  /// Effective service scale of `target` for a transfer issued at `start`
+  /// (static straggler factor times any active dynamic slowdown phase).
+  double scale_at(int target, double start) const {
+    const double s = rank_scale_[static_cast<std::size_t>(target)];
+    return dynamic_scale_ ? s * dynamic_scale_(target, start) : s;
+  }
+
   std::vector<BusyResource> nic_;     ///< per-node inter-node port
   std::vector<BusyResource> fabric_;  ///< per-node intra-node fabric
   std::vector<double> rank_scale_;    ///< per-rank NIC service multiplier
+  std::function<double(int, double)> dynamic_scale_;  ///< gray slowdowns
 };
 
 }  // namespace dds::model

@@ -540,6 +540,16 @@ class Runtime {
       net_.set_service_scale(r,
                              injector_ ? injector_->service_scale_of(r) : 1.0);
     }
+    // Time-varying slowdown phases need a per-transfer hook; with none
+    // configured, leave the hook empty so the static timing arithmetic is
+    // untouched (bit-identical perf baselines).
+    if (injector_ != nullptr && injector_->has_dynamic_profiles()) {
+      net_.set_dynamic_scale([this](int rank, double now) {
+        return injector_ ? injector_->slowdown_of(rank, now) : 1.0;
+      });
+    } else {
+      net_.set_dynamic_scale(nullptr);
+    }
   }
 
   /// The armed injector, or nullptr when faults are off.

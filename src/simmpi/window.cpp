@@ -118,6 +118,28 @@ void Window::get(MutableByteSpan dst, int target, std::size_t offset,
   }
 }
 
+double Window::get_at(MutableByteSpan dst, int target, std::size_t offset,
+                      double start, std::uint64_t charge_bytes,
+                      double overhead_scale) {
+  const auto t = static_cast<std::size_t>(target);
+  DDS_CHECK_MSG(held_.at(t) != HeldLock::None, "get outside a lock epoch");
+  check_bounds(target, offset, dst.size());
+
+  const auto& region = shared_->regions[t];
+  std::memcpy(dst.data(), region.data() + offset, dst.size());
+  auto& rt = comm_.runtime();
+  const double done = rt.network().rma_get_time(
+      comm_.world_rank(), comm_.world_rank_of(target),
+      charge_bytes == 0 ? dst.size() : charge_bytes, start, overhead_scale);
+  if (tracing::EventTracer* tr = comm_.tracer()) {
+    tracing::EventArgs args;
+    args.target = comm_.world_rank_of(target);
+    args.bytes = static_cast<std::int64_t>(dst.size());
+    tr->record(tracing::Category::Simmpi, "win_get", start, done, args);
+  }
+  return done;
+}
+
 void Window::getv(std::span<const GetSegment> segments, int target,
                   std::uint64_t charge_bytes, double overhead_scale) {
   const auto t = static_cast<std::size_t>(target);

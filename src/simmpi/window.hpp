@@ -77,6 +77,17 @@ class Window {
   void get(MutableByteSpan dst, int target, std::size_t offset,
            std::uint64_t charge_bytes = 0, double overhead_scale = 1.0);
 
+  /// Timing-decoupled get for hedged transfers: moves the bytes now (same
+  /// bounds/lock checks as get()) and charges the target's NIC, but the
+  /// transfer is modeled as *issued at* virtual time `start` and the
+  /// completion time is RETURNED instead of advancing the caller's clock.
+  /// A hedging caller computes both legs' completions this way, then
+  /// commits min(primary, backup) — the clock is monotonic, so the winner
+  /// must be known before any advance.  Requires an active lock epoch.
+  double get_at(MutableByteSpan dst, int target, std::size_t offset,
+                double start, std::uint64_t charge_bytes = 0,
+                double overhead_scale = 1.0);
+
   /// One disjoint range of a vectored get (see getv).
   struct GetSegment {
     std::size_t offset = 0;  ///< into the target's exposed region

@@ -1,0 +1,209 @@
+// Chaos scenario engine units: normalized-time materialization, built-in
+// catalog validity, and the InvariantChecker's verdicts (liveness bound,
+// counter audits, bit-equal replay).
+#include "faults/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace dds::faults {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FaultConfig mixed_schedule() {
+  FaultConfig fc;
+  SlowdownPhase sp;
+  sp.rank = 1;
+  sp.factor = 10.0;
+  sp.start_s = 1.5;
+  sp.end_s = 3.0;
+  fc.slowdowns.push_back(sp);
+  LinkPhase lp;
+  lp.target = 2;
+  lp.loss_prob = 0.05;
+  lp.jitter_mean_s = 200e-6;
+  lp.start_s = 1.0;
+  lp.end_s = 2.0;
+  fc.links.push_back(lp);
+  DeathPhase dp;
+  dp.rank = 3;
+  dp.at_s = 2.5;
+  fc.deaths.push_back(dp);
+  return fc;
+}
+
+TEST(Materialize, ScalesOnlyTheTimeAxis) {
+  const double T = 0.125;
+  const FaultConfig out = materialize(mixed_schedule(), T);
+
+  ASSERT_EQ(out.slowdowns.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.slowdowns[0].start_s, 1.5 * T);
+  EXPECT_DOUBLE_EQ(out.slowdowns[0].end_s, 3.0 * T);
+  EXPECT_DOUBLE_EQ(out.slowdowns[0].factor, 10.0);  // not a time
+  EXPECT_EQ(out.slowdowns[0].rank, 1);
+
+  ASSERT_EQ(out.links.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.links[0].start_s, 1.0 * T);
+  EXPECT_DOUBLE_EQ(out.links[0].end_s, 2.0 * T);
+  EXPECT_DOUBLE_EQ(out.links[0].loss_prob, 0.05);         // probability
+  EXPECT_DOUBLE_EQ(out.links[0].jitter_mean_s, 200e-6);   // already seconds
+
+  ASSERT_EQ(out.deaths.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.deaths[0].at_s, 2.5 * T);
+}
+
+TEST(Materialize, OpenEndedWindowStaysOpenEnded) {
+  FaultConfig fc;
+  SlowdownPhase sp;
+  sp.rank = 0;
+  sp.start_s = 1.0;  // end_s defaults to +infinity
+  fc.slowdowns.push_back(sp);
+  const FaultConfig out = materialize(fc, 2.0e-3);
+  EXPECT_EQ(out.slowdowns[0].end_s, kInf);
+}
+
+TEST(Materialize, SeedAndProbabilitiesPassThrough) {
+  FaultConfig fc = mixed_schedule();
+  fc.seed = 777;
+  fc.rma_fail_prob = 0.25;
+  const FaultConfig out = materialize(fc, 10.0);
+  EXPECT_EQ(out.seed, 777u);
+  EXPECT_DOUBLE_EQ(out.rma_fail_prob, 0.25);
+}
+
+TEST(BuiltinScenarios, CatalogIsValidForAnyWorldSize) {
+  for (const int nranks : {2, 4, 8, 16}) {
+    const auto catalog = builtin_scenarios(nranks);
+    ASSERT_GE(catalog.size(), 5u) << "nranks " << nranks;
+    std::set<std::string> names;
+    for (const ChaosScenario& s : catalog) {
+      SCOPED_TRACE(s.name + " @ " + std::to_string(nranks));
+      EXPECT_FALSE(s.name.empty());
+      EXPECT_TRUE(names.insert(s.name).second) << "duplicate name";
+      EXPECT_GT(s.max_inflation, 1.0);
+      EXPECT_FALSE(s.note.empty());
+      for (const SlowdownPhase& p : s.faults.slowdowns) {
+        EXPECT_GE(p.rank, 0);
+        EXPECT_LT(p.rank, nranks);
+        EXPECT_GT(p.factor, 1.0);
+        EXPECT_LT(p.start_s, p.end_s);
+      }
+      for (const LinkPhase& p : s.faults.links) {
+        EXPECT_LT(p.target, nranks);
+        EXPECT_LT(p.start_s, p.end_s);
+        if (!p.partition) {
+          EXPECT_TRUE(p.loss_prob > 0.0 || p.jitter_mean_s > 0.0);
+        }
+      }
+      for (const DeathPhase& p : s.faults.deaths) {
+        EXPECT_GE(p.rank, 0);
+        EXPECT_LT(p.rank, nranks);
+        EXPECT_GT(p.at_s, 0.0);  // never dead before calibration
+      }
+    }
+  }
+}
+
+TEST(BuiltinScenarios, BaselineArmsNothingAndDeathWantsElastic) {
+  const auto catalog = builtin_scenarios(4);
+  ASSERT_FALSE(catalog.empty());
+  EXPECT_EQ(catalog.front().name, "baseline_no_faults");
+  EXPECT_FALSE(catalog.front().faults.any());
+  bool saw_elastic_death = false;
+  for (const ChaosScenario& s : catalog) {
+    if (s.name == "baseline_no_faults") continue;
+    EXPECT_TRUE(s.faults.any()) << s.name;
+    if (!s.faults.deaths.empty()) {
+      // A scenario that kills a rank must mount the recovery driver, or
+      // the run would stall on an open breaker with no rebuild.
+      EXPECT_TRUE(s.wants_elastic) << s.name;
+      saw_elastic_death = true;
+    }
+  }
+  EXPECT_TRUE(saw_elastic_death);
+}
+
+TEST(InvariantChecker, CleanRunPasses) {
+  InvariantChecker check(/*reference_epoch_s=*/1.0, /*max_inflation=*/4.0);
+  for (int e = 0; e < 4; ++e) check.on_epoch(e, {1.2, true});
+  check.on_counters({.hedged_fetches = 5, .hedge_wins = 5}, false);
+  const double run[] = {1.2, 1.2, 1.2, 1.2};
+  check.on_replay(run, run);
+  EXPECT_TRUE(check.passed());
+  EXPECT_TRUE(check.violations().empty());
+}
+
+TEST(InvariantChecker, FlagsIdentityAndLivenessViolations) {
+  InvariantChecker check(1.0, 4.0);
+  check.on_epoch(0, {1.0, /*samples_identical=*/false});
+  check.on_epoch(1, {4.5, true});           // past the inflation bound
+  check.on_epoch(2, {-1.0, true});          // non-positive
+  check.on_epoch(3, {kInf, true});          // non-finite (hung epoch)
+  EXPECT_FALSE(check.passed());
+  EXPECT_EQ(check.violations().size(), 4u);
+}
+
+TEST(InvariantChecker, InflationBoundIsInclusive) {
+  InvariantChecker check(1.0, 4.0);
+  check.on_epoch(0, {4.0, true});  // exactly at the bound: allowed
+  EXPECT_TRUE(check.passed());
+}
+
+TEST(InvariantChecker, AuditsCounterConsistency) {
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_counters({.hedged_fetches = 2, .hedge_wins = 3}, false);
+    EXPECT_FALSE(check.passed());  // wins cannot exceed hedges
+  }
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_counters({.hedge_mismatches = 1}, false);
+    EXPECT_FALSE(check.passed());  // twins disagreed
+  }
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_counters({.checksum_failures = 1}, false);
+    EXPECT_FALSE(check.passed());  // corruption leaked without being armed
+  }
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_counters({.degraded_reads = 7}, /*allows_degraded=*/false);
+    EXPECT_FALSE(check.passed());
+  }
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_counters({.degraded_reads = 7}, /*allows_degraded=*/true);
+    EXPECT_TRUE(check.passed());  // scenario expected unreachable samples
+  }
+}
+
+TEST(InvariantChecker, ReplayDemandsBitEquality) {
+  const double run[] = {1.0, 2.0, 3.0};
+  {
+    InvariantChecker check(1.0, 4.0);
+    check.on_replay(run, run);
+    EXPECT_TRUE(check.passed());
+  }
+  {
+    // One ULP off is still a violation: same seed must reproduce the exact
+    // virtual timeline, not a close one.
+    double replay[] = {1.0, 2.0, 3.0};
+    replay[1] = std::nextafter(replay[1], 10.0);
+    InvariantChecker check(1.0, 4.0);
+    check.on_replay(run, replay);
+    EXPECT_FALSE(check.passed());
+  }
+  {
+    const double shorter[] = {1.0, 2.0};
+    InvariantChecker check(1.0, 4.0);
+    check.on_replay(run, shorter);
+    EXPECT_FALSE(check.passed());
+  }
+}
+
+}  // namespace
+}  // namespace dds::faults
