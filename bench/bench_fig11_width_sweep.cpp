@@ -5,6 +5,10 @@
 // width = N, a single replica).  Paper: throughput varies by <10% across
 // widths — the latency benefit of small widths (Fig. 12) is mostly hidden
 // by compute overlap — so the flat curve IS the expected result.
+//
+// A second sweep repeats the experiment at the machines' full 256-node
+// scale (1536 Summit / 1024 Perlmutter GPUs) — beyond the paper's Fig. 11,
+// practical in simulation only under the fiber engine.
 #include <cstdio>
 
 #include "common/harness.hpp"
@@ -14,11 +18,11 @@ using namespace dds::bench;
 
 namespace {
 
-void run_machine(const model::MachineConfig& machine) {
-  const int nranks = 64 * machine.gpus_per_node;
-  std::printf("\n# Fig. 11 (%s, 64 nodes = %d GPUs, AISD-Ex discrete): "
+void run_machine(const model::MachineConfig& machine, int nodes) {
+  const int nranks = nodes * machine.gpus_per_node;
+  std::printf("\n# Fig. 11 (%s, %d nodes = %d GPUs, AISD-Ex discrete): "
               "throughput vs width\n",
-              machine.name.c_str(), nranks);
+              machine.name.c_str(), nodes, nranks);
   print_row({"width", "replicas", "samples/s", "local fetch %", "p50 [ms]"});
 
   Scenario sc;
@@ -55,7 +59,12 @@ void run_machine(const model::MachineConfig& machine) {
 }  // namespace
 
 int main() {
-  run_machine(model::summit());      // widths 12..384
-  run_machine(model::perlmutter());  // widths 8..256
+  // Paper scale: 64 nodes (Summit widths 12..384, Perlmutter 8..256).
+  run_machine(model::summit(), 64);
+  run_machine(model::perlmutter(), 64);
+  // Full machine width: 256 nodes = 1536 / 1024 GPUs (fiber engine only in
+  // practice — the thread engine cannot hold this many ranks usefully).
+  run_machine(model::summit(), 256);
+  run_machine(model::perlmutter(), 256);
   return 0;
 }

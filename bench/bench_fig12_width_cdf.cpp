@@ -63,5 +63,41 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Beyond the paper: the same width contrast at full machine scale (256
+  // Perlmutter nodes = 1024 GPUs), practical in simulation only under the
+  // fiber engine.  Small widths keep shrinking the median at 16x the rank
+  // count because the local-hit fraction depends on width, not world size.
+  constexpr int kWideRanks = 1024;
+  std::printf("\n# Fig. 12 extension (Perlmutter, 256 nodes = %d GPUs): "
+              "p50 latency, width=%d vs width=2\n",
+              kWideRanks, kWideRanks);
+  print_row({"dataset", "width=1024 p50", "width=2 p50", "reduction"});
+  {
+    const auto kind = datagen::DatasetKind::AisdExDiscrete;
+    Scenario sc;
+    sc.machine = machine;
+    sc.kind = kind;
+    sc.nranks = kWideRanks;
+    sc.local_batch = 32;
+    sc.epochs = 1;
+    sc.num_samples =
+        scaled_samples(kWideRanks, sc.local_batch, /*min_steps=*/2);
+    sc.ddstore.charge_replica_preload = false;
+
+    StagedData data(machine, kind, sc.num_samples, kWideRanks,
+                    /*with_pff=*/false);
+    double p50[2] = {0, 0};
+    int i = 0;
+    for (const int width : {kWideRanks, 2}) {
+      Scenario run = sc;
+      run.ddstore.width = width;
+      auto result = run_training(data, run, BackendKind::DDStore);
+      p50[i++] = result.latencies.percentile(50);
+    }
+    print_row({datagen::dataset_spec(kind).name, format_seconds(p50[0]),
+               format_seconds(p50[1]),
+               fmt(100.0 * (1.0 - p50[1] / p50[0]), 2) + "%"});
+  }
   return 0;
 }

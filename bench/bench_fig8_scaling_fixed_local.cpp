@@ -6,7 +6,15 @@
 // shape: DDStore scales near-linearly in GPUs; PFF saturates at the
 // metadata server and CFF at the filesystem data path, with much larger
 // run-to-run variability.
+//
+// The full sweep reaches the paper's top widths (1536 Summit GPUs, 1024
+// Perlmutter GPUs) — practical only under the fiber engine, which runs
+// every simulated rank as a userspace fiber instead of an OS thread.
+// `--smoke` runs the 1024-rank Perlmutter point alone through one short
+// DDStore epoch (CI's large-N gate).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/harness.hpp"
 
@@ -55,9 +63,50 @@ void run_machine(const model::MachineConfig& machine,
   }
 }
 
+/// CI large-N gate: 256 Perlmutter nodes = 1024 simulated ranks through
+/// one short DDStore epoch.  Exits non-zero unless the epoch completes
+/// with positive throughput; prints the engine and wall time so CI logs
+/// document what the fiber engine buys.
+int run_smoke() {
+  const auto machine = model::perlmutter();
+  const int nranks = 256 * machine.gpus_per_node;  // 1024
+  Scenario sc;
+  sc.machine = machine;
+  sc.kind = datagen::DatasetKind::AisdExDiscrete;
+  sc.nranks = nranks;
+  sc.local_batch = 16;
+  sc.epochs = 1;
+  sc.num_samples = scaled_samples(nranks, sc.local_batch, /*min_steps=*/2);
+  sc.ddstore.charge_replica_preload = false;
+
+  std::printf("# Fig. 8 --smoke: %d ranks (256 Perlmutter nodes), engine=%s, "
+              "%llu samples, one epoch\n",
+              nranks, simmpi::engine_name(simmpi::engine_from_env()),
+              static_cast<unsigned long long>(sc.num_samples));
+  const auto t0 = std::chrono::steady_clock::now();
+  StagedData data(machine, sc.kind, sc.num_samples, nranks,
+                  /*with_pff=*/false);
+  const auto result = run_training(data, sc, BackendKind::DDStore);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double tput = result.mean_throughput();
+  print_row({"gpus", "samples/s", "modeled epoch [s]", "wall [s]"});
+  print_row({std::to_string(nranks), fmt(tput, 0),
+             fmt(result.epochs.front().epoch_seconds), fmt(wall, 1)});
+  if (!(tput > 0)) {
+    std::fprintf(stderr, "FAIL: 1024-rank epoch produced no throughput\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
   run_machine(model::summit(), datagen::DatasetKind::AisdExDiscrete);
   run_machine(model::summit(), datagen::DatasetKind::AisdExSmooth);
   run_machine(model::perlmutter(), datagen::DatasetKind::AisdExDiscrete);

@@ -127,7 +127,7 @@ RunResult run_training(StagedData& data, const Scenario& scenario,
   const bool deterministic =
       scenario.deterministic || (force_det != nullptr && *force_det == '1');
   simmpi::Runtime rt(scenario.nranks, scenario.machine, scenario.seed,
-                     deterministic);
+                     deterministic, scenario.engine);
   if (scenario.faults.any()) {
     rt.set_fault_injector(std::make_shared<faults::FaultInjector>(
         scenario.faults, scenario.nranks));

@@ -1,0 +1,123 @@
+// FiberScheduler: the default simmpi execution engine.
+//
+// Every simulated rank is a stackful ucontext fiber inside ONE OS thread.
+// The scheduler resumes exactly one fiber at a time, run-to-next-blocking-op,
+// in the same cyclic rank order as ThreadTurnScheduler's token rotation — so
+// the two engines execute rank operations in an identical total order and
+// produce bit-identical modeled virtual times (the engine-parity tests and
+// the CI perf gate both pin this).  What changes is the mechanism: a fiber
+// switch is a userspace register swap (~100ns) instead of a kernel
+// futex-wake + context switch + scheduler roundtrip (~10µs), and N ranks
+// cost N small stacks instead of N kernel threads — which is what makes
+// simulating the paper's full 1536-GPU width practical in one process.
+//
+// Stack safety: each fiber stack is an mmap'd region with a PROT_NONE guard
+// page below it (overflow faults loudly instead of scribbling on a neighbor
+// fiber's stack) plus a canary word pattern just above the guard, checked at
+// every suspend — a frame large enough to leap the guard page still trips
+// the canary.  Size is configurable via DDS_FIBER_STACK_KB (default 1024,
+// larger under sanitizers, minimum 64, rounded up to whole pages).
+//
+// Sanitizer support: stack switches are announced to ASan via
+// __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber and to
+// TSan via __tsan_switch_to_fiber, so fiber frames get correct fake-stack
+// bookkeeping and race attribution instead of false positives.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simmpi/barrier.hpp"
+#include "simmpi/sched.hpp"
+
+namespace dds::simmpi {
+
+class FiberScheduler final : public TurnScheduler {
+ public:
+  /// `abort` (may be null) lets a detected cooperative deadlock drain
+  /// parked fibers — their wait predicates observe the raised flag, they
+  /// unwind with AbortedError, and run() then reports the deadlock —
+  /// instead of abandoning live stacks.
+  explicit FiberScheduler(int nranks, AbortFlag* abort = nullptr);
+  ~FiberScheduler() override;
+
+  // ---- TurnScheduler ----------------------------------------------------
+  void reset(int nranks) override;
+  /// Fibers register themselves as they are spawned by run(); the
+  /// turn-bracket calls that thread engines need are no-ops here.
+  void begin_turn(int /*rank*/) override {}
+  void end_turn() override {}
+  int current_rank() const override { return current_; }
+  void yield_until_pred(PredicateRef pred) override;
+
+  // ---- engine driver ----------------------------------------------------
+
+  /// Spawns one fiber per rank running `body(rank)` and drives them all to
+  /// completion on the calling thread.  `body` must not leak exceptions
+  /// (the Runtime's rank wrapper catches them); a cooperative deadlock —
+  /// every live fiber parked on a false predicate — raises the abort flag,
+  /// drains the fibers, and throws InternalError.
+  void run(const std::function<void(int)>& body);
+
+  /// Total fiber context switches performed (diagnostics / bench output).
+  std::uint64_t switch_count() const { return switches_; }
+
+  /// Per-fiber usable stack size in bytes, resolved from DDS_FIBER_STACK_KB
+  /// at construction.
+  std::size_t stack_bytes() const { return stack_bytes_; }
+
+  /// Parses DDS_FIBER_STACK_KB (clamped to >= 64 KB, rounded up to whole
+  /// pages); the default is 1 MB, raised under ASan/TSan whose redzones and
+  /// shadow frames inflate stack usage.
+  static std::size_t stack_bytes_from_env();
+
+ private:
+  enum class State : std::uint8_t { Ready, Parked, Done };
+
+  struct Fiber {
+    ucontext_t ctx{};
+    std::byte* map_base = nullptr;   ///< mmap base (guard page included)
+    std::size_t map_bytes = 0;       ///< full mapping length
+    std::byte* stack_lo = nullptr;   ///< lowest usable stack address
+    std::size_t usable_bytes = 0;    ///< stack_lo .. stack_lo+usable
+    State state = State::Ready;
+    PredicateRef pred;               ///< valid only while Parked
+    int rank = -1;
+    void* asan_fake_stack = nullptr;
+    void* tsan_fiber = nullptr;
+  };
+
+  static void trampoline();
+  void fiber_main();
+
+  void allocate_stack(Fiber& f);
+  void release_stack(Fiber& f);
+  void write_canary(Fiber& f);
+  void check_canary(const Fiber& f) const;
+
+  /// Resumes fiber `idx` from the scheduler context; returns when the
+  /// fiber suspends (parks) or finishes.
+  void resume(int idx);
+  /// Suspends the running fiber back to the scheduler context.
+  void suspend_running();
+
+  AbortFlag* abort_ = nullptr;
+  std::vector<Fiber> fibers_;
+  const std::function<void(int)>* body_ = nullptr;
+  ucontext_t main_ctx_{};
+  void* main_asan_fake_stack_ = nullptr;
+  const void* main_stack_bottom_ = nullptr;
+  std::size_t main_stack_size_ = 0;
+  void* main_tsan_fiber_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  std::uint64_t switches_ = 0;
+  int nranks_ = 0;
+  int current_ = 0;   ///< rank holding the execution token
+  int running_ = -1;  ///< fiber index on the CPU (-1 = scheduler context)
+};
+
+}  // namespace dds::simmpi

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 #include <tuple>
 
+#include "simmpi/fiber.hpp"
+
 namespace dds::simmpi {
+
+const char* engine_name(Engine engine) {
+  return engine == Engine::Fibers ? "fibers" : "threads";
+}
+
+Engine engine_from_env() {
+  const char* env = std::getenv("DDS_ENGINE");
+  if (env == nullptr || *env == '\0') return Engine::Fibers;
+  const std::string v(env);
+  if (v == "fibers") return Engine::Fibers;
+  if (v == "threads") return Engine::Threads;
+  throw ConfigError("DDS_ENGINE must be 'fibers' or 'threads', got '" + v +
+                    "'");
+}
 
 // ---- Comm ----------------------------------------------------------------
 
@@ -194,14 +212,23 @@ ByteBuffer Comm::recv_bytes(int src, int tag, int* actual_src) {
 // ---- Runtime ---------------------------------------------------------------
 
 Runtime::Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed,
-                 bool deterministic)
+                 bool deterministic, std::optional<Engine> engine)
     : nranks_(nranks),
       machine_(std::move(machine)),
       net_(machine_, nranks),
-      sched_(deterministic ? std::make_unique<TurnScheduler>(nranks) : nullptr),
+      engine_(engine.has_value() ? *engine : engine_from_env()),
       clocks_(static_cast<std::size_t>(nranks)),
       rngs_() {
   DDS_CHECK_MSG(nranks > 0, "Runtime needs at least one rank");
+  if (engine_ == Engine::Fibers) {
+    // Fibers are inherently cooperative: the scheduler exists whether or
+    // not `deterministic` was requested (determinism comes for free).
+    auto fibers = std::make_unique<FiberScheduler>(nranks, &abort_);
+    fiber_ = fibers.get();
+    sched_ = std::move(fibers);
+  } else if (deterministic) {
+    sched_ = std::make_unique<ThreadTurnScheduler>(nranks);
+  }
   const Rng root(seed);
   rngs_.reserve(static_cast<std::size_t>(nranks));
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
@@ -219,40 +246,62 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  // Exception-safe turn bracket: a rank that unwinds (error or abort) must
-  // still leave the rotation, or the remaining ranks would wait forever for
-  // a token the dead thread holds.
-  struct TurnGuard {
-    TurnScheduler* sched;
-    TurnGuard(TurnScheduler* s, int rank) : sched(s) {
-      if (sched != nullptr) sched->begin_turn(rank);
-    }
-    ~TurnGuard() {
-      if (sched != nullptr) sched->end_turn();
+  // Shared rank body for both engines: absorbs every exception (nothing
+  // may unwind across a fiber switch or out of a detached rank thread),
+  // keeps the first real error, and aborts the peers.
+  const auto rank_body = [&](int r) {
+    try {
+      Comm comm(world_, r);
+      fn(comm);
+    } catch (const AbortedError&) {
+      // Another rank failed first; nothing to report from this one.
+    } catch (...) {
+      {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort_.raise();
     }
   };
 
-  if (sched_ != nullptr) sched_->reset(nranks_);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
-    threads.emplace_back([&, r] {
-      const TurnGuard turn(sched_.get(), r);
-      try {
-        Comm comm(world_, r);
-        fn(comm);
-      } catch (const AbortedError&) {
-        // Another rank failed first; nothing to report from this one.
-      } catch (...) {
-        {
-          const std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        abort_.raise();
+  if (fiber_ != nullptr) {
+    // Fiber engine: every rank runs as a fiber on THIS thread.
+    fiber_->reset(nranks_);
+    try {
+      fiber_->run(rank_body);
+    } catch (...) {
+      // Scheduler-level failure (cooperative deadlock).  Rank errors were
+      // already captured by rank_body; keep whichever came first.
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  } else {
+    // Thread engine: one OS thread per rank, joined before returning.
+    //
+    // Exception-safe turn bracket: a rank that unwinds (error or abort)
+    // must still leave the rotation, or the remaining ranks would wait
+    // forever for a token the dead thread holds.
+    struct TurnGuard {
+      TurnScheduler* sched;
+      TurnGuard(TurnScheduler* s, int rank) : sched(s) {
+        if (sched != nullptr) sched->begin_turn(rank);
       }
-    });
+      ~TurnGuard() {
+        if (sched != nullptr) sched->end_turn();
+      }
+    };
+
+    if (sched_ != nullptr) sched_->reset(nranks_);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      threads.emplace_back([&, r] {
+        const TurnGuard turn(sched_.get(), r);
+        rank_body(r);
+      });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   if (first_error) {
     // Leave the runtime reusable: future runs start from a clean flag.
     abort_.clear();

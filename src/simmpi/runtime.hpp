@@ -1,11 +1,21 @@
 // simmpi: an in-process, MPI-like runtime with virtual time.
 //
-// Ranks are threads inside one process; communicators, collectives, and
-// one-sided windows behave like their MPI counterparts and move real bytes
-// between rank-owned buffers, while a NetworkModel charges simulated
-// seconds to each rank's VirtualClock.  This is the substitution for the
-// real MPI + Summit/Perlmutter interconnects the paper ran on (DESIGN.md):
-// control flow and data movement are real, elapsed time is modelled.
+// Ranks are lightweight execution contexts inside one process;
+// communicators, collectives, and one-sided windows behave like their MPI
+// counterparts and move real bytes between rank-owned buffers, while a
+// NetworkModel charges simulated seconds to each rank's VirtualClock.  This
+// is the substitution for the real MPI + Summit/Perlmutter interconnects
+// the paper ran on (DESIGN.md): control flow and data movement are real,
+// elapsed time is modelled.
+//
+// Two execution engines back the ranks (selectable via DDS_ENGINE or the
+// Runtime constructor; see Engine below):
+//   fibers  — one stackful fiber per rank on a single OS thread, scheduled
+//             run-to-next-blocking-op (default: fast, deterministic, and
+//             scales to thousands of simulated ranks);
+//   threads — one OS thread per rank (legacy: free-running by default,
+//             token-serialized when `deterministic` is set; keeps real
+//             concurrency for TSan coverage).
 //
 // Usage:
 //   Runtime rt(8, model::perlmutter());
@@ -22,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -39,6 +50,28 @@ namespace dds::simmpi {
 
 class Runtime;
 class Comm;
+class FiberScheduler;
+
+/// How simulated ranks are executed (see the header comment).
+enum class Engine {
+  /// One stackful fiber per rank inside a single OS thread, scheduled
+  /// run-to-next-blocking-op in cyclic rank order.  Always deterministic;
+  /// a context switch is a userspace register swap, so thousand-rank
+  /// simulations are practical.  The default.
+  Fibers,
+  /// One OS thread per rank (the legacy engine).  Free-running unless the
+  /// Runtime's `deterministic` flag serializes the threads through a
+  /// ThreadTurnScheduler.  Slower at scale, but the only engine with real
+  /// concurrency — CI's TSan job forces it to keep race coverage.
+  Threads,
+};
+
+/// "fibers" or "threads" (stable strings; used in bench JSON and traces).
+const char* engine_name(Engine engine);
+
+/// Engine selected by DDS_ENGINE ("fibers" | "threads"); Fibers when the
+/// variable is unset or empty.  Throws ConfigError on anything else.
+Engine engine_from_env();
 
 /// Reduction operators for allreduce/reduce.
 enum class Op { Sum, Min, Max, Prod };
@@ -446,23 +479,29 @@ class Comm {
   int rank_ = 0;
 };
 
-/// Owns the rank threads, clocks, RNG streams, and the network model.
+/// Owns the rank execution contexts, clocks, RNG streams, and the network
+/// model.
 class Runtime {
  public:
-  /// `deterministic` serializes rank threads through a TurnScheduler so
-  /// every shared virtual resource observes operations in a reproducible
-  /// order — modeled times become bit-identical across runs (the CI perf
-  /// gate depends on this).  Default off: free-running threads are faster
-  /// and faithful for throughput experiments.
+  /// `engine` picks the execution backend; when not given, DDS_ENGINE
+  /// decides (default: Engine::Fibers).  Under the fiber engine every run
+  /// is cooperative and deterministic, so `deterministic` is implied.
+  /// Under the thread engine, `deterministic` serializes rank threads
+  /// through a ThreadTurnScheduler so every shared virtual resource
+  /// observes operations in a reproducible order — modeled times become
+  /// bit-identical across runs (and identical to the fiber engine's, which
+  /// executes the same cyclic rank rotation; the CI perf gate pins this).
   Runtime(int nranks, model::MachineConfig machine, std::uint64_t seed = 42,
-          bool deterministic = false);
+          bool deterministic = false,
+          std::optional<Engine> engine = std::nullopt);
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Spawns one thread per rank running `fn(world_comm)` and joins them.
-  /// The first exception thrown by any rank is rethrown here; other ranks
-  /// are released from collectives via the abort flag.
+  /// Runs `fn(world_comm)` on every rank — as fibers driven by the calling
+  /// thread, or as one spawned-and-joined OS thread per rank, depending on
+  /// the engine.  The first exception thrown by any rank is rethrown here;
+  /// other ranks are released from collectives via the abort flag.
   void run(const std::function<void(Comm&)>& fn);
 
   int nranks() const { return nranks_; }
@@ -480,15 +519,21 @@ class Runtime {
   }
   AbortFlag& abort_flag() { return abort_; }
 
-  /// The cooperative scheduler, or nullptr when free-running (default).
+  /// The cooperative scheduler, or nullptr only under free-running threads
+  /// (Engine::Threads without the deterministic flag).
   TurnScheduler* scheduler() { return sched_.get(); }
   bool deterministic() const { return sched_ != nullptr; }
+  Engine engine() const { return engine_; }
+  /// The fiber engine behind scheduler(), or nullptr under thread engines
+  /// (diagnostics: switch counts, stack geometry).
+  FiberScheduler* fiber_scheduler() { return fiber_; }
 
   // ---- event tracing ----------------------------------------------------
 
   /// Arms one bounded EventTracer per rank for subsequent run() calls.
-  /// Call before run(); each rank thread writes only its own stream, so
-  /// recording needs no locks.
+  /// Call before run(); each rank — fiber or thread — writes only its own
+  /// stream (identity is the owning Comm's rank, never thread_local state,
+  /// so the streams stay correct when every fiber shares one OS thread).
   void enable_tracing(std::size_t capacity_per_rank = 1u << 20) {
     tracers_.clear();
     tracers_.reserve(static_cast<std::size_t>(nranks_));
@@ -559,8 +604,10 @@ class Runtime {
   int nranks_;
   model::MachineConfig machine_;
   model::NetworkModel net_;
+  Engine engine_;
   AbortFlag abort_;
   std::unique_ptr<TurnScheduler> sched_;
+  FiberScheduler* fiber_ = nullptr;  ///< sched_ downcast when engine_ == Fibers
   std::vector<model::VirtualClock> clocks_;
   std::vector<Rng> rngs_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;

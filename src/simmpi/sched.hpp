@@ -1,37 +1,47 @@
-// TurnScheduler: deterministic cooperative execution of rank threads.
+// Cooperative turn scheduling: the serialization contract behind both
+// execution engines.
 //
-// The free-running thread runtime is faithful but not reproducible: shared
-// virtual resources (BusyResource buckets, the FS page cache) observe rank
-// operations in whatever order the OS happens to schedule the threads, so
-// modeled epoch times wobble at the microsecond level from run to run.
-// That noise is invisible to the throughput figures but fatal to the CI
-// perf gate, which compares modeled times *byte for byte*.
+// A TurnScheduler serializes simulated ranks so that exactly one rank runs
+// at a time and every shared virtual resource (BusyResource buckets, the FS
+// page cache, window locks) observes operations in a reproducible order —
+// the global interleaving of every virtual-time event becomes a pure
+// function of the program, identical on every run, on any machine, at any
+// ctest parallelism.  Two implementations exist:
 //
-// In deterministic mode a single execution token circulates among the rank
-// threads in rank order.  Exactly one thread runs at a time; a thread gives
-// the token up only at explicit cooperative wait points (barrier arrival,
-// two-sided receive), so the global interleaving of every virtual-time
-// event is a pure function of the program — identical on every run, on any
-// machine, at any ctest parallelism.
+//  * ThreadTurnScheduler (below): one OS thread per rank, a single
+//    execution token circulating among them in rank order.  This is the
+//    legacy engine's deterministic mode (DDS_ENGINE=threads with
+//    Runtime(..., deterministic=true)); kernel context switches make it
+//    slow at high rank counts, but it keeps real threads under the
+//    sanitizers' eyes.
+//  * FiberScheduler (simmpi/fiber.hpp): every rank is a stackful fiber
+//    inside ONE OS thread, resumed run-to-next-blocking-op in the same
+//    cyclic rank order.  No kernel involvement per switch, no scheduler
+//    noise, thousands of ranks in one process — the default engine.
+//
+// Both produce the *same* total order of operations, so modeled virtual
+// times are bit-identical across engines (the engine-parity tests and the
+// CI perf gate both depend on this).
 //
 // Contract for cooperative code:
-//  * A thread must never hold a lock that another rank can block on while
-//    it yields.  The simmpi wait points (Barrier, Comm::recv_bytes) release
-//    their own mutexes before yielding; plain short critical sections
-//    (BusyResource, mailboxes) never yield and therefore never deadlock.
-//  * Window lock epochs use shared locks only on the fetch path, so no
-//    rank suspends while holding a lock a peer needs.  Exclusive-lock
-//    contention across ranks is NOT supported in deterministic mode (it
-//    would deadlock), exactly as documented for misordered passive-target
-//    MPI code.
-//  * Predicates passed to yield_until() are evaluated while holding the
-//    token and must depend only on state mutated by rank threads (plus the
-//    abort flag), so their truth value is deterministic too.
+//  * A rank must never hold a lock that another rank can block on while it
+//    yields.  The simmpi wait points (Barrier, Comm::recv_bytes, Window
+//    lock epochs) release their own mutexes before yielding; plain short
+//    critical sections (BusyResource, mailboxes) never yield and therefore
+//    never deadlock.
+//  * Predicates passed to yield_until() are evaluated while the yielding
+//    rank is suspended (never concurrently with other rank code) and must
+//    depend only on state mutated by rank code plus the abort flag, so
+//    their truth value is deterministic too.
+//  * Rank identity comes from the scheduler (current_rank()), never from
+//    thread_local state: under the fiber engine every rank shares one OS
+//    thread.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -39,16 +49,77 @@
 
 namespace dds::simmpi {
 
+/// Non-owning reference to a bool() callable.  yield_until predicates are
+/// stack-local lambdas in the *yielding* rank's frame; the scheduler may
+/// re-evaluate them after the rank suspended, which is safe because a
+/// suspended fiber's (or parked thread's) frames stay alive until resume.
+class PredicateRef {
+ public:
+  PredicateRef() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, PredicateRef>)
+  PredicateRef(const F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(&fn), call_([](const void* o) {
+          return (*static_cast<const F*>(o))();
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+  bool operator()() const { return call_(obj_); }
+
+ private:
+  const void* obj_ = nullptr;
+  bool (*call_)(const void*) = nullptr;
+};
+
+/// Abstract cooperative scheduler: the yield points in Barrier,
+/// Comm::recv_bytes, and Window lock epochs talk to this interface and work
+/// identically under either engine.
 class TurnScheduler {
  public:
-  explicit TurnScheduler(int nranks) { reset(nranks); }
-
+  TurnScheduler() = default;
   TurnScheduler(const TurnScheduler&) = delete;
   TurnScheduler& operator=(const TurnScheduler&) = delete;
+  virtual ~TurnScheduler() = default;
 
-  /// Re-arms the rotation for a fresh Runtime::run (all ranks active, the
-  /// token parked on rank 0).  Must not be called while rank threads run.
-  void reset(int nranks) {
+  /// Re-arms the rotation for a fresh Runtime::run.  Must not be called
+  /// while rank code runs.
+  virtual void reset(int nranks) = 0;
+
+  /// Registers the calling OS thread as `rank` and blocks until it holds
+  /// the execution token.  Thread-engine only; the fiber engine registers
+  /// ranks internally and implements these as no-ops.
+  virtual void begin_turn(int rank) = 0;
+
+  /// Removes the calling rank from the rotation and passes the token on.
+  virtual void end_turn() = 0;
+
+  /// The rank currently holding the execution token (-1 when none does).
+  /// This is the identity a span or a log line should carry — NOT the OS
+  /// thread, which is shared by every fiber.
+  virtual int current_rank() const = 0;
+
+  /// Cooperative wait: while `pred()` is false, hands execution to the
+  /// next runnable rank and suspends until the predicate turns true.  A
+  /// predicate that is already true never yields (and therefore never
+  /// perturbs the deterministic operation order).
+  template <typename Pred>
+  void yield_until(Pred&& pred) {
+    yield_until_pred(PredicateRef(pred));
+  }
+
+  virtual void yield_until_pred(PredicateRef pred) = 0;
+};
+
+/// Token-passing scheduler over one-OS-thread-per-rank (the legacy
+/// engine's deterministic mode).  A single execution token circulates
+/// among the rank threads in rank order; a thread gives the token up only
+/// at explicit cooperative wait points.
+class ThreadTurnScheduler final : public TurnScheduler {
+ public:
+  explicit ThreadTurnScheduler(int nranks) { reset(nranks); }
+
+  void reset(int nranks) override {
     const std::scoped_lock lock(m_);
     DDS_CHECK(nranks > 0);
     active_.assign(static_cast<std::size_t>(nranks), true);
@@ -56,18 +127,16 @@ class TurnScheduler {
     current_ = 0;
   }
 
-  /// Registers the calling thread as `rank` and blocks until it holds the
-  /// token.  Every rank thread calls this once before running user code,
-  /// so even thread *startup* is serialized in rank order.
-  void begin_turn(int rank) {
+  /// Every rank thread calls this once before running user code, so even
+  /// thread *startup* is serialized in rank order.
+  void begin_turn(int rank) override {
     std::unique_lock lock(m_);
     threads_[std::this_thread::get_id()] = rank;
     cv_.wait(lock, [&] { return current_ == rank; });
   }
 
-  /// Removes the calling rank from the rotation and passes the token on.
   /// Called when the rank thread finishes (normally or by unwind).
-  void end_turn() {
+  void end_turn() override {
     const std::scoped_lock lock(m_);
     const int rank = self_locked();
     threads_.erase(std::this_thread::get_id());
@@ -76,12 +145,12 @@ class TurnScheduler {
     cv_.notify_all();
   }
 
-  /// Cooperative wait: while `pred()` is false, hands the token to the
-  /// next active rank and sleeps until the token comes back.  `pred` runs
-  /// only while this rank holds the token (never concurrently with rank
-  /// code), so it may freely read shared state under its own short locks.
-  template <typename Pred>
-  void yield_until(Pred&& pred) {
+  int current_rank() const override {
+    const std::scoped_lock lock(m_);
+    return current_;
+  }
+
+  void yield_until_pred(PredicateRef pred) override {
     std::unique_lock lock(m_);
     const int rank = self_locked();
     // A correct program re-checks at most a few times per waiter (each
@@ -122,7 +191,7 @@ class TurnScheduler {
     current_ = -1;
   }
 
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable cv_;
   std::vector<bool> active_;
   std::unordered_map<std::thread::id, int> threads_;

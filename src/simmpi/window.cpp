@@ -42,11 +42,31 @@ void Window::lock(int target, LockType type) {
   const auto t = static_cast<std::size_t>(target);
   DDS_CHECK_MSG(held_.at(t) == HeldLock::None,
                 "lock epoch already active on this target");
-  if (type == LockType::Shared) {
-    shared_->locks[t].lock_shared();
+  detail::RegionLock& rl = shared_->locks[t];
+  TurnScheduler* sched = comm_.runtime().scheduler();
+  if (sched != nullptr) {
+    // Cooperative engines: park the rank until the region is available.
+    // The counters are mutated only while holding the execution token, and
+    // the abort clause keeps a rank from being parked forever behind a
+    // holder that unwound.
+    AbortFlag& abort = comm_.runtime().abort_flag();
+    if (type == LockType::Shared) {
+      sched->yield_until([&] { return abort.raised() || !rl.writer; });
+      if (rl.writer) throw AbortedError();  // woken by abort, still held
+      ++rl.readers;
+      held_[t] = HeldLock::Shared;
+    } else {
+      sched->yield_until(
+          [&] { return abort.raised() || (!rl.writer && rl.readers == 0); });
+      if (rl.writer || rl.readers != 0) throw AbortedError();
+      rl.writer = true;
+      held_[t] = HeldLock::Exclusive;
+    }
+  } else if (type == LockType::Shared) {
+    rl.m.lock_shared();
     held_[t] = HeldLock::Shared;
   } else {
-    shared_->locks[t].lock();
+    rl.m.lock();
     held_[t] = HeldLock::Exclusive;
   }
   // Timing of lock/unlock is folded into the per-access RMA overhead in
@@ -63,12 +83,22 @@ void Window::lock(int target, LockType type) {
 
 void Window::unlock(int target) {
   const auto t = static_cast<std::size_t>(target);
+  detail::RegionLock& rl = shared_->locks[t];
+  const bool cooperative = comm_.runtime().scheduler() != nullptr;
   switch (held_.at(t)) {
     case HeldLock::Shared:
-      shared_->locks[t].unlock_shared();
+      if (cooperative) {
+        --rl.readers;  // a parked writer's predicate turns true
+      } else {
+        rl.m.unlock_shared();
+      }
       break;
     case HeldLock::Exclusive:
-      shared_->locks[t].unlock();
+      if (cooperative) {
+        rl.writer = false;
+      } else {
+        rl.m.unlock();
+      }
       break;
     case HeldLock::None:
       throw InternalError("unlock without a matching lock");

@@ -5,8 +5,9 @@
 // unlock — the passive-target pattern the paper selects ("MPI_Win_lock with
 // MPI_LOCK_SHARED ... as a lightweight set of contention-avoiding methods",
 // §3.2) — or synchronize epochs with fence().  get/put move real bytes via
-// memcpy under a shared_mutex; the NetworkModel charges virtual time
-// (software overhead + wire + queueing at the target node's NIC).
+// memcpy under a per-region reader/writer lock (detail::RegionLock); the
+// NetworkModel charges virtual time (software overhead + wire + queueing at
+// the target node's NIC).
 //
 // The window is a *faithful* data mover: fault injection lives one layer up,
 // at the DDStore transport seam (core/fetch/transport.hpp), which decides a
@@ -15,7 +16,9 @@
 // Deviations from MPI semantics, by design:
 //  * lock() blocks immediately instead of deferring to the first access;
 //    cross-rank exclusive lock cycles can therefore deadlock (as can
-//    misordered MPI passive-target code).
+//    misordered MPI passive-target code).  Under a cooperative engine the
+//    wait is a scheduler yield, so such a cycle trips the loud
+//    cooperative-deadlock invariant instead of hanging.
 //  * Window lifetime is reference counted; free() is a collective no-op
 //    provided for symmetry with MPI_Win_free.
 #pragma once
@@ -32,6 +35,22 @@ namespace dds::simmpi {
 enum class LockType { Shared, Exclusive };
 
 namespace detail {
+
+/// Reader/writer lock on one exposed region, usable from both execution
+/// engines.  Free-running threads block on the shared_mutex; cooperative
+/// engines (fibers, or token-serialized threads) instead park the rank on
+/// the counters via TurnScheduler::yield_until — blocking the OS thread
+/// would wedge every fiber sharing it.  The counters are only touched by
+/// the rank holding the execution token, so they need no atomics; an
+/// uncontended acquisition sees its predicate true immediately and never
+/// yields (keeping the deterministic operation order identical to the old
+/// always-uncontended mutex path).
+struct RegionLock {
+  std::shared_mutex m;  ///< free-running engine only
+  int readers = 0;      ///< cooperative engines only
+  bool writer = false;  ///< cooperative engines only
+};
+
 struct WindowShared {
   explicit WindowShared(std::size_t n) : regions(n), keepalives(n), locks(n) {}
   std::vector<MutableByteSpan> regions;    ///< indexed by comm rank
@@ -40,8 +59,9 @@ struct WindowShared {
   /// rank finishing early cannot free memory peers still read (the
   /// in-process analogue of MPI_Win_free being collective).
   std::vector<std::shared_ptr<const void>> keepalives;
-  std::deque<std::shared_mutex> locks;     ///< per exposed region
+  std::deque<RegionLock> locks;            ///< per exposed region
 };
+
 }  // namespace detail
 
 class Window {

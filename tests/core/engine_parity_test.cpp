@@ -1,0 +1,100 @@
+// Engine parity at the training-pipeline level: the fiber engine and the
+// deterministic thread engine must produce IDENTICAL EpochReports — modeled
+// epoch seconds, throughput, every backend counter, the traffic and
+// resilience summaries — and byte-identical exported traces, on the same
+// seed and configuration.  This is the contract that let the fiber engine
+// become the default without moving the sha256-pinned CI perf baseline:
+// the engine changes the mechanism that runs rank code, never the model.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+
+#include "common/tracing/export.hpp"
+#include "datagen/dataset.hpp"
+#include "formats/cff.hpp"
+#include "train/sim_trainer.hpp"
+
+namespace dds {
+namespace {
+
+using datagen::DatasetKind;
+using model::test_machine;
+
+struct EngineRun {
+  train::EpochReport report;
+  std::string trace_json;
+};
+
+EngineRun run_with_engine(simmpi::Engine engine) {
+  const auto machine = test_machine();
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kSamples = 96;
+
+  fs::ParallelFileSystem pfs(machine.fs, machine.nodes_for_ranks(kRanks));
+  const auto ds =
+      datagen::make_dataset(DatasetKind::AisdExDiscrete, kSamples, 11);
+  formats::CffWriter::stage(pfs, "cff", *ds, 2);
+  const formats::CffReader reader(pfs, "cff",
+                                  ds->spec().nominal_cff_sample_bytes());
+
+  EngineRun result;
+  std::mutex m;
+  simmpi::Runtime rt(kRanks, machine, /*seed=*/42, /*deterministic=*/true,
+                     engine);
+  rt.enable_tracing(/*capacity_per_rank=*/1u << 16);
+  rt.run([&](simmpi::Comm& c) {
+    fs::FsClient client(pfs, machine.node_of_rank(c.world_rank()), c.clock(),
+                        c.rng());
+    core::DDStoreConfig cfg;
+    cfg.width = 2;
+    core::DDStore store(c, reader, client, cfg);
+    c.barrier();
+    c.clock().reset();
+    c.barrier();
+    train::DDStoreBackend backend(store);
+    train::GlobalShuffleSampler sampler(kSamples, 8, 42);
+    train::SimTrainerConfig tcfg;
+    tcfg.input_dim = 6;
+    tcfg.output_dim = 100;
+    train::SimulatedTrainer trainer(c, backend, sampler, machine, tcfg);
+    const auto report = trainer.run_epoch(0);
+    if (c.rank() == 0) {
+      const std::scoped_lock lock(m);
+      result.report = report;
+    }
+    c.barrier();
+  });
+  result.trace_json = tracing::to_chrome_json(rt.traces());
+  return result;
+}
+
+TEST(EngineParity, FibersAndDeterministicThreadsProduceIdenticalReports) {
+  const auto fibers = run_with_engine(simmpi::Engine::Fibers);
+  const auto threads = run_with_engine(simmpi::Engine::Threads);
+
+  // Exact double equality everywhere — parity means bit-identical modeled
+  // time, not "close".
+  EXPECT_EQ(fibers.report.epoch_seconds, threads.report.epoch_seconds);
+  EXPECT_EQ(fibers.report.throughput, threads.report.throughput);
+  EXPECT_EQ(fibers.report.global_samples, threads.report.global_samples);
+  EXPECT_EQ(fibers.report.overlap_hidden_s, threads.report.overlap_hidden_s);
+  EXPECT_GT(fibers.report.epoch_seconds, 0.0);
+
+  // Every backend counter, by name and value, in registration order.
+  ASSERT_EQ(fibers.report.metrics.size(), threads.report.metrics.size());
+  for (std::size_t i = 0; i < fibers.report.metrics.size(); ++i) {
+    EXPECT_EQ(fibers.report.metrics[i].name, threads.report.metrics[i].name);
+    EXPECT_EQ(fibers.report.metrics[i].value, threads.report.metrics[i].value)
+        << fibers.report.metrics[i].name;
+  }
+
+  // The full event streams round-trip to byte-identical Chrome JSON: same
+  // spans, same timestamps, same rank attribution — the tracer keys
+  // identity off the rank, so sharing one OS thread changes nothing.
+  EXPECT_EQ(fibers.trace_json, threads.trace_json);
+  EXPECT_FALSE(fibers.trace_json.empty());
+}
+
+}  // namespace
+}  // namespace dds

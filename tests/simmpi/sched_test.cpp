@@ -16,7 +16,7 @@ namespace {
 
 TEST(TurnScheduler, ExecutesRanksInOrderRegardlessOfSpawnOrder) {
   constexpr int kRanks = 4;
-  TurnScheduler sched(kRanks);
+  ThreadTurnScheduler sched(kRanks);
   std::vector<int> order;  // written only by the token holder
   std::vector<std::thread> threads;
   // Spawn in REVERSE rank order: the token must still rotate 0,1,2,3.
@@ -32,7 +32,7 @@ TEST(TurnScheduler, ExecutesRanksInOrderRegardlessOfSpawnOrder) {
 }
 
 TEST(TurnScheduler, YieldUntilHandsTokenAndResumes) {
-  TurnScheduler sched(2);
+  ThreadTurnScheduler sched(2);
   std::atomic<bool> flag{false};
   std::vector<int> order;
   std::thread t0([&] {
@@ -53,7 +53,7 @@ TEST(TurnScheduler, YieldUntilHandsTokenAndResumes) {
 }
 
 TEST(TurnScheduler, AllRanksParkedFailsLoudly) {
-  TurnScheduler sched(1);
+  ThreadTurnScheduler sched(1);
   std::thread t([&] {
     sched.begin_turn(0);
     // The only rank waits on a predicate nobody can satisfy: the spin cap
