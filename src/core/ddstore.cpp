@@ -63,6 +63,15 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
                       " must divide the communicator size " +
                       std::to_string(comm.size()));
   }
+  if (!(config_.tiered.hot_fraction > 0.0) ||
+      config_.tiered.hot_fraction > 1.0) {
+    throw ConfigError("tiered.hot_fraction must be in (0, 1], got " +
+                      std::to_string(config_.tiered.hot_fraction));
+  }
+  if (config_.tiered.staging_depth < 1) {
+    throw ConfigError("tiered.staging_depth must be >= 1, got " +
+                      std::to_string(config_.tiered.staging_depth));
+  }
   const std::uint64_t n = reader.num_samples();
   const ChunkAssignment assignment(n, width, config_.placement);
 
@@ -132,7 +141,8 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
             std::span<const std::size_t>(counts),
             std::span<const std::uint64_t>(gathered_sums));
       });
-  layout_ = Layout(comm_.size(), width, config_.placement, registry);
+  layout_ = Layout(comm_.size(), width, config_.placement, registry,
+                   config_.tiered.hot_fraction);
 
   // 4. RMA registration (MPI_Win_create): chunks are read-only, so exposing
   // the shared buffer mutably is safe (only shared-lock gets touch it).
@@ -161,6 +171,10 @@ DDStore::DDStore(simmpi::Comm& comm, const formats::SampleReader& reader,
     metrics_.counter("reshard_keep_bytes");
     metrics_.counter("rank_rebuilds");
     metrics_.counter("rebuild_bytes");
+    // Only meaningful when a reshard re-stripes a tiered store, but
+    // registered whenever elastic is on so the elastic counter layout does
+    // not depend on the tiering knob.
+    metrics_.counter("reshard_cold_stage_bytes");
   }
 }
 
@@ -219,9 +233,19 @@ const DDStoreStats& DDStore::stats() const {
   s.hedge_mismatches = metrics_.counter_value("hedge_mismatches");
   s.hedge_cancelled_bytes = metrics_.counter_value("hedge_cancelled_bytes");
   s.quarantine_steers = metrics_.counter_value("quarantine_steers");
+  s.cold_misses = metrics_.counter_value("cold_misses");
+  s.staged_hits = metrics_.counter_value("staged_hits");
+  s.staged_hit_bytes = metrics_.counter_value("staged_hit_bytes");
+  s.staged_bytes = metrics_.counter_value("staged_bytes");
+  s.staged_evictions = metrics_.counter_value("staged_evictions");
+  s.stage_nvme_hits = metrics_.counter_value("stage_nvme_hits");
+  s.stage_backpressure_delays =
+      metrics_.counter_value("stage_backpressure_delays");
   s.reshards = metrics_.counter_value("reshards");
   s.reshard_pull_bytes = metrics_.counter_value("reshard_pull_bytes");
   s.reshard_keep_bytes = metrics_.counter_value("reshard_keep_bytes");
+  s.reshard_cold_stage_bytes =
+      metrics_.counter_value("reshard_cold_stage_bytes");
   s.rank_rebuilds = metrics_.counter_value("rank_rebuilds");
   s.rebuild_bytes = metrics_.counter_value("rebuild_bytes");
   s.preload_retries = metrics_.counter_value("preload_retries");

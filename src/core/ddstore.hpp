@@ -106,6 +106,11 @@ class DDStore {
   /// The Cache stage's LRU (read-only; capacity 0 means disabled).
   const fetch::SampleCache& sample_cache() const { return engine_->cache(); }
 
+  /// The Staging stage (tiered mode only; nullptr when
+  /// config.tiered.hot_fraction == 1.0).  Exposes the staged-set LRU and
+  /// the in-flight queue depth for tests and diagnostics.
+  const fetch::StagingStage* staging() const { return engine_->staging(); }
+
   simmpi::Comm& comm() { return comm_; }
   simmpi::Comm& group() { return group_; }
   const DDStoreConfig& config() const { return config_; }

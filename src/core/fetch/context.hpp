@@ -93,6 +93,33 @@ struct HedgeMetrics {
   MetricsRegistry::Counter& quarantine_steers;
 };
 
+/// Tiering counters, registered *after* FetchMetrics (and any HedgeMetrics)
+/// and only when DDStoreConfig::tiered.enabled() — same gating discipline:
+/// the default counter layout and the committed CI perf baseline never
+/// move.  stage_wait is the time a consumer actually blocked on a staged
+/// completion (0 when the deep queue fully hid the storage latency).
+struct TierMetrics {
+  explicit TierMetrics(MetricsRegistry& registry)
+      : cold_misses(registry.counter("cold_misses")),
+        staged_hits(registry.counter("staged_hits")),
+        staged_hit_bytes(registry.counter("staged_hit_bytes")),
+        staged_bytes(registry.counter("staged_bytes")),
+        staged_evictions(registry.counter("staged_evictions")),
+        stage_nvme_hits(registry.counter("stage_nvme_hits")),
+        stage_backpressure_delays(
+            registry.counter("stage_backpressure_delays")),
+        stage_wait(registry.latency("stage_wait_s")) {}
+
+  MetricsRegistry::Counter& cold_misses;
+  MetricsRegistry::Counter& staged_hits;
+  MetricsRegistry::Counter& staged_hit_bytes;
+  MetricsRegistry::Counter& staged_bytes;
+  MetricsRegistry::Counter& staged_evictions;
+  MetricsRegistry::Counter& stage_nvme_hits;
+  MetricsRegistry::Counter& stage_backpressure_delays;
+  LatencyRecorder& stage_wait;
+};
+
 /// Everything a fetch stage may consult.  All pointers are non-owning and
 /// outlive the engine (they point into the DDStore that built it).
 ///
@@ -114,6 +141,8 @@ struct FetchContext {
   /// Non-null iff config->hedge.enabled (doubles as the stage-side switch
   /// for hedging and health steering).
   HedgeMetrics* hedge = nullptr;
+  /// Non-null iff config->tiered.enabled() (the Staging stage's switch).
+  TierMetrics* tier = nullptr;
 
   const DataRegistry& registry() const { return layout->registry(); }
   int width() const { return layout->width(); }

@@ -26,6 +26,12 @@ FetchEngine::FetchEngine(simmpi::Comm& comm, simmpi::Comm& group,
     hedge_metrics_.emplace(metrics);
     ctx_.hedge = &*hedge_metrics_;
   }
+  if (config.tiered.enabled()) {
+    tier_metrics_.emplace(metrics);
+    ctx_.tier = &*tier_metrics_;
+    cold_tier_.emplace(fs_client.fs(), config.tiered.nvme, fs_client.node());
+    staging_.emplace(ctx_, transport_, *cold_tier_);
+  }
 }
 
 void FetchEngine::charge_cache_hit() {
@@ -45,6 +51,12 @@ void FetchEngine::admit(std::uint64_t id, ByteSpan bytes) {
 
 ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
   const auto& entry = ctx_.registry().lookup(id);
+  // Staging stage routes every cold sample before the cache stage ever
+  // sees it: cold ids live in the staged set, not the sample cache, so the
+  // hot working set and the staged set never compete for the same budget.
+  if (staging_ && staging_->is_cold(id)) {
+    return get_cold_bytes(id, entry);
+  }
   if (cache_.enabled()) {
     // Cache stage first: a hit never takes a lock epoch, consumes no retry
     // budget, and touches no target's breaker (see DESIGN.md invariant).
@@ -170,6 +182,48 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_per_sample(
   return out;
 }
 
+ByteBuffer FetchEngine::get_cold_bytes(std::uint64_t id,
+                                       const DataRegistry::Entry& entry) {
+  TierMetrics& tm = *ctx_.tier;
+  if (const ByteBuffer* hit = staging_->staged_lookup(id)) {
+    ++tm.staged_hits;
+    tm.staged_hit_bytes += entry.length;
+    tracing::Span span(ctx_.tracer(), ctx_.clock(), tracing::Category::Cache,
+                       "staged_hit");
+    span.args().sample_id = static_cast<std::int64_t>(id);
+    span.args().bytes = static_cast<std::int64_t>(entry.length);
+    charge_cache_hit();
+    return *hit;
+  }
+  // Synchronous miss: enqueue and immediately drain.  The queue still
+  // serializes the issue time against the previous staging_depth reads, so
+  // single-sample callers see the same device backpressure batches do.
+  staging_->enqueue(id, entry);
+  staging_->begin_promotion();
+  ByteBuffer bytes = staging_->drain(id);
+  staging_->end_promotion();
+  return bytes;
+}
+
+void FetchEngine::serve_staged_hit(const PlannedSample& sample,
+                                   std::vector<graph::GraphSample>& out) {
+  const ByteBuffer* bytes = staging_->staged_lookup(sample.id);
+  DDS_CHECK(bytes != nullptr);
+  TierMetrics& tm = *ctx_.tier;
+  ++tm.staged_hits;
+  tm.staged_hit_bytes += sample.length;
+  auto& clock = ctx_.clock();
+  const double t0 = clock.now();
+  {
+    tracing::Span span(ctx_.tracer(), clock, tracing::Category::Cache,
+                       "staged_hit");
+    span.args().sample_id = static_cast<std::int64_t>(sample.id);
+    span.args().bytes = static_cast<std::int64_t>(sample.length);
+    charge_cache_hit();
+  }
+  decode_occurrences(sample, ByteSpan(*bytes), clock.now() - t0, out);
+}
+
 void FetchEngine::serve_cache_hit(const PlannedSample& sample,
                                   std::vector<graph::GraphSample>& out) {
   const ByteBuffer* bytes = cache_.lookup(sample.id);
@@ -193,19 +247,25 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
   tracing::Span batch_span(ctx_.tracer(), ctx_.clock(),
                            tracing::Category::Fetch,
                            coalesce ? "batch_coalesced" : "batch_per_target");
-  // Plan stage, with the Cache stage as its residency predicate: ids
-  // already resident never enter a transfer plan.  `contains` does not
-  // promote — the authoritative lookup in serve_cache_hit does.
-  std::vector<PlannedSample> cached;
+  // Plan stage, with the Cache stage (and, when tiered, the hot/cold
+  // partition) as its residency predicate: ids already resident — or cold,
+  // hence owned by the Staging stage — never enter a transfer plan.
+  // `contains`/`is_cold` do not promote — the authoritative lookups in
+  // serve_cache_hit / serve_staged_hit do.
+  const bool tiered = staging_.has_value();
+  std::vector<PlannedSample> diverted;
   std::optional<tracing::Span> plan_span;
   plan_span.emplace(ctx_.tracer(), ctx_.clock(), tracing::Category::Fetch,
                     "plan");
   const FetchPlan plan =
-      cache_.enabled()
+      (cache_.enabled() || tiered)
           ? plan_batch_fetch(
                 ctx_.registry(), ids,
-                [this](std::uint64_t id) { return cache_.contains(id); },
-                &cached)
+                [this, tiered](std::uint64_t id) {
+                  return cache_.contains(id) ||
+                         (tiered && staging_->is_cold(id));
+                },
+                &diverted)
           : plan_batch_fetch(ctx_.registry(), ids);
   plan_span->args().bytes = static_cast<std::int64_t>(plan.total_bytes());
   plan_span.reset();
@@ -216,8 +276,32 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
       plan.unique_samples - static_cast<std::uint64_t>(plan.targets.size());
   if (cache_.enabled()) metrics_.cache_misses += plan.unique_samples;
 
+  // Partition the diverted samples.  Cache first: after an elastic reshard
+  // narrows the hot prefix, a previously-hot sample can be both cached and
+  // cold — the cheaper cache hit wins until eviction retires it.
+  std::vector<PlannedSample> cached;
+  std::vector<PlannedSample> staged;
+  std::vector<PlannedSample> cold_misses;
+  for (PlannedSample& s : diverted) {
+    if (cache_.contains(s.id)) {
+      cached.push_back(std::move(s));
+    } else if (staging_->staged_contains(s.id)) {
+      staged.push_back(std::move(s));
+    } else {
+      cold_misses.push_back(std::move(s));
+    }
+  }
+
+  // Staging stage, issue side: enqueue every cold miss *now*, before any
+  // lock epoch opens — the modeled storage reads then overlap the hot RMA
+  // transfers below (the queue never advances the clock at enqueue).
+  for (const PlannedSample& s : cold_misses) {
+    staging_->enqueue(s.id, ctx_.registry().lookup(s.id));
+  }
+
   // Cache stage: serve every resident sample before any lock epoch opens.
   for (const PlannedSample& s : cached) serve_cache_hit(s, out);
+  for (const PlannedSample& s : staged) serve_staged_hit(s, out);
 
   for (const TargetPlan& tp : plan.targets) {
     if (!coalesce) {
@@ -273,6 +357,20 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
       }
     }
     if (fell_back) ++metrics_.coalesced_fallbacks;
+  }
+
+  // Staging stage, drain side: collect the cold reads issued before the
+  // hot transfers.  Any read that completed while the RMA traffic ran
+  // drains for free; the stage_wait recorder captures what didn't hide.
+  // Promotion into the staged set happens under one lock epoch per batch.
+  if (!cold_misses.empty()) {
+    staging_->begin_promotion();
+    for (const PlannedSample& s : cold_misses) {
+      const double t0 = clock.now();
+      const ByteBuffer bytes = staging_->drain(s.id);
+      decode_occurrences(s, ByteSpan(bytes), clock.now() - t0, out);
+    }
+    staging_->end_promotion();
   }
   return out;
 }

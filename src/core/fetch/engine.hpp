@@ -6,6 +6,9 @@
 //   Plan        core/fetch_plan.hpp — dedupe, group by owner, merge ranges
 //   Cache       core/fetch/cache.hpp — per-rank hot-sample LRU, served
 //               before any lock epoch
+//   Staging     core/fetch/staging.hpp — tiered mode only: samples outside
+//               the hot shard are staged from the cold tier through a deep
+//               async queue instead of ever reaching the transport
 //   Transport   core/fetch/transport.hpp — per-sample / lock-per-target /
 //               coalesced getv window traffic + the fault-injection seam
 //   Resilience  core/fetch/resilience.hpp — retry, breaker, failover,
@@ -25,8 +28,10 @@
 #include "core/fetch/cache.hpp"
 #include "core/fetch/context.hpp"
 #include "core/fetch/resilience.hpp"
+#include "core/fetch/staging.hpp"
 #include "core/fetch/transport.hpp"
 #include "core/fetch_plan.hpp"
+#include "store/tier.hpp"
 
 namespace dds::core::fetch {
 
@@ -60,9 +65,17 @@ class FetchEngine {
 
   const SampleCache& cache() const { return cache_; }
 
+  /// The Staging stage, present iff config.tiered.enabled() (tests and the
+  /// store's staged-set view).
+  const StagingStage* staging() const {
+    return staging_.has_value() ? &*staging_ : nullptr;
+  }
+
   /// Resilience-stage breaker state for one comm-rank target (the elastic
   /// driver's fault-suspect signal and its post-rebuild reset).
-  bool breaker_open(int target) const { return resilience_.breaker_open(target); }
+  bool breaker_open(int target) const {
+    return resilience_.breaker_open(target);
+  }
   void reset_target_health(int target) { resilience_.reset_target(target); }
 
   /// Continuous [0, 1] health of one comm-rank target (0 while its breaker
@@ -96,6 +109,15 @@ class FetchEngine {
   void serve_cache_hit(const PlannedSample& sample,
                        std::vector<graph::GraphSample>& out);
 
+  /// Staging stage, single-sample path: staged-set hit or a synchronous
+  /// enqueue+drain through the cold tier (the queue still serializes issue
+  /// times, so depth backpressure applies even without batch overlap).
+  ByteBuffer get_cold_bytes(std::uint64_t id, const DataRegistry::Entry& entry);
+
+  /// Serves one planned cold sample from the staged set (tiered batches).
+  void serve_staged_hit(const PlannedSample& sample,
+                        std::vector<graph::GraphSample>& out);
+
   /// Charges the modeled cost of a cache hit (lookup service + memcpy of
   /// the nominal payload at CPU memcpy bandwidth).
   void charge_cache_hit();
@@ -108,11 +130,17 @@ class FetchEngine {
   /// the default counter layout (and the committed CI perf baseline)
   /// stays untouched.  ctx_.hedge points here when engaged.
   std::optional<HedgeMetrics> hedge_metrics_;
+  /// Registered after FetchMetrics/HedgeMetrics and only when
+  /// config.tiered.enabled(), for the same baseline reason.
+  std::optional<TierMetrics> tier_metrics_;
   FetchContext ctx_;
   formats::DecodeCost decode_;
   SampleCache cache_;
   RmaTransport transport_;
   ResilienceStage resilience_;
+  /// Tiered mode only: the cold-tier cost model and the Staging stage.
+  std::optional<store::ColdTier> cold_tier_;
+  std::optional<StagingStage> staging_;
 };
 
 }  // namespace dds::core::fetch

@@ -1,0 +1,122 @@
+#include "core/fetch/staging.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/tracing/tracer.hpp"
+#include "core/fetch/transport.hpp"
+
+namespace dds::core::fetch {
+
+namespace {
+
+/// Auto capacity for the staged set: the rank's cold complement — hot
+/// prefix plus staged set never exceed one full chunk of actual bytes.
+std::uint64_t auto_staged_capacity(const FetchContext& ctx) {
+  const Layout& layout = *ctx.layout;
+  const int owner = layout.group_rank_of(ctx.comm->rank());
+  const std::uint64_t chunk = layout.chunk_bytes(owner);
+  return chunk - layout.hot_bytes(owner);
+}
+
+}  // namespace
+
+StagingStage::StagingStage(const FetchContext& ctx, RmaTransport& transport,
+                           store::ColdTier& cold)
+    : ctx_(&ctx),
+      transport_(&transport),
+      cold_(&cold),
+      staged_(ctx.config->tiered.staged_set_bytes != 0
+                  ? ctx.config->tiered.staged_set_bytes
+                  : auto_staged_capacity(ctx)) {}
+
+void StagingStage::enqueue(std::uint64_t id,
+                           const DataRegistry::Entry& entry) {
+  for (const InFlight& f : queue_) {
+    if (f.id == id) return;  // already in flight
+  }
+  const TieredConfig& cfg = ctx_->config->tiered;
+  TierMetrics& tm = *ctx_->tier;
+  auto& clock = ctx_->clock();
+
+  // Data plane: cold bytes come out of the owner's exposed region — the
+  // same memory every other fetch path reads, so tiering can never change
+  // a delivered byte.
+  const auto* region = static_cast<const std::byte*>(
+      ctx_->window->region_data(
+          ctx_->primary_target(static_cast<int>(entry.owner))));
+  InFlight f;
+  f.id = id;
+  f.bytes.resize(entry.length);
+  std::memcpy(f.bytes.data(), region + entry.offset, entry.length);
+
+  // Timing plane: the read issues when a queue slot frees — the completion
+  // of the read staging_depth places ahead of this one — and its own
+  // completion is modeled now, with no clock movement (get_deferred
+  // discipline).
+  double ready = clock.now();
+  if (recent_dones_.size() >= static_cast<std::size_t>(cfg.staging_depth)) {
+    const double slot_free =
+        recent_dones_[recent_dones_.size() -
+                      static_cast<std::size_t>(cfg.staging_depth)];
+    if (slot_free > ready) {
+      ready = slot_free;
+      ++tm.stage_backpressure_delays;
+    }
+  }
+  const store::StageCompletion sc =
+      cold_->stage_read(id, ctx_->nominal_sample_bytes, ready);
+  f.done = sc.done;
+  if (sc.nvme_hit) ++tm.stage_nvme_hits;
+  ++tm.cold_misses;
+  if (tracing::EventTracer* tr = ctx_->tracer()) {
+    tracing::EventArgs args;
+    args.sample_id = static_cast<std::int64_t>(id);
+    args.bytes = static_cast<std::int64_t>(entry.length);
+    tr->instant(tracing::Category::Fetch, "stage_enqueue", clock.now(), args);
+  }
+
+  recent_dones_.push_back(f.done);
+  while (recent_dones_.size() > static_cast<std::size_t>(cfg.staging_depth)) {
+    recent_dones_.pop_front();
+  }
+  queue_.push_back(std::move(f));
+}
+
+ByteBuffer StagingStage::drain(std::uint64_t id) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [id](const InFlight& f) { return f.id == id; });
+  DDS_CHECK_MSG(it != queue_.end(), "drain of a sample never enqueued");
+  TierMetrics& tm = *ctx_->tier;
+  auto& clock = ctx_->clock();
+  const double wait = std::max(0.0, it->done - clock.now());
+  clock.advance_to(it->done);
+  tm.stage_wait.add(wait);
+  tm.staged_bytes += it->bytes.size();
+
+  ByteBuffer bytes = std::move(it->bytes);
+  queue_.erase(it);
+  if (ctx_->config->tiered.admission == TierAdmission::Promote) {
+    DDS_CHECK_MSG(promoting_, "promotion outside a lock epoch");
+    tm.staged_evictions += staged_.insert(id, ByteSpan(bytes));
+  }
+  return bytes;
+}
+
+void StagingStage::begin_promotion() {
+  if (ctx_->config->tiered.admission != TierAdmission::Promote) return;
+  DDS_CHECK(!promoting_);
+  // Publication discipline: promoted samples become addressable at a
+  // lock-epoch boundary on this rank's own region, never mid-epoch — the
+  // same shared-lock protocol every other window mutation observes.
+  transport_->lock(ctx_->comm->rank());
+  promoting_ = true;
+}
+
+void StagingStage::end_promotion() {
+  if (!promoting_) return;
+  transport_->unlock(ctx_->comm->rank());
+  promoting_ = false;
+}
+
+}  // namespace dds::core::fetch

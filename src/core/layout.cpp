@@ -1,22 +1,65 @@
 #include "core/layout.hpp"
 
+#include <cmath>
 #include <string>
 #include <vector>
 
 namespace dds::core {
 
 Layout::Layout(int nranks, int width, Placement placement,
-               std::shared_ptr<const DataRegistry> registry)
+               std::shared_ptr<const DataRegistry> registry,
+               double hot_fraction)
     : nranks_(nranks),
       width_(width),
       placement_(placement),
-      registry_(std::move(registry)) {
+      registry_(std::move(registry)),
+      hot_fraction_(hot_fraction) {
   DDS_CHECK_MSG(registry_ != nullptr, "layout requires a registry");
   if (width_ < 1 || nranks_ < 1 || nranks_ % width_ != 0) {
     throw ConfigError("layout width " + std::to_string(width_) +
                       " must divide the communicator size " +
                       std::to_string(nranks_));
   }
+  if (!(hot_fraction_ > 0.0) || hot_fraction_ > 1.0) {
+    throw ConfigError("layout hot fraction " + std::to_string(hot_fraction_) +
+                      " must be in (0, 1]");
+  }
+}
+
+std::uint64_t Layout::hot_bytes(int owner) const {
+  const std::uint64_t chunk = chunk_bytes(owner);
+  if (!tiered()) return chunk;
+  const auto budget = static_cast<std::uint64_t>(
+      std::ceil(hot_fraction_ * static_cast<double>(chunk)));
+  return std::min(budget, chunk);
+}
+
+bool Layout::is_hot(std::uint64_t id) const {
+  if (!tiered()) return true;
+  const DataRegistry::Entry& e = registry().lookup(id);
+  return e.offset + e.length <= hot_bytes(static_cast<int>(e.owner));
+}
+
+std::uint64_t Layout::hot_samples_of(int owner) const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t id : assignment().ids_of(owner)) {
+    if (is_hot(id)) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Layout::hot_prefix_bytes(int owner) const {
+  std::uint64_t bytes = 0;
+  for (const std::uint64_t id : assignment().ids_of(owner)) {
+    if (!is_hot(id)) break;  // hot samples form a storage-order prefix
+    bytes += registry().lookup(id).length;
+  }
+  return bytes;
+}
+
+Layout Layout::with_hot_fraction(double hot_fraction) const {
+  DDS_CHECK_MSG(valid(), "with_hot_fraction on an empty layout");
+  return Layout(nranks_, width_, placement_, registry_, hot_fraction);
 }
 
 Layout Layout::with_width(int new_width) const {
@@ -53,7 +96,7 @@ Layout Layout::with_width(int new_width) const {
       std::span<const std::size_t>(counts),
       any_checksum ? std::span<const std::uint64_t>(checksums)
                    : std::span<const std::uint64_t>{});
-  return Layout(nranks_, new_width, placement_, std::move(reg));
+  return Layout(nranks_, new_width, placement_, std::move(reg), hot_fraction_);
 }
 
 }  // namespace dds::core

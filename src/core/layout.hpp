@@ -29,8 +29,12 @@ class Layout {
   /// construction finishes); every accessor below requires a valid one.
   Layout() = default;
 
+  /// `hot_fraction` is the share of each owner's chunk bytes pinned in the
+  /// hot shard (storage-order prefix); 1.0 — the default — means the whole
+  /// dataset is resident and no sample is ever cold.
   Layout(int nranks, int width, Placement placement,
-         std::shared_ptr<const DataRegistry> registry);
+         std::shared_ptr<const DataRegistry> registry,
+         double hot_fraction = 1.0);
 
   bool valid() const { return registry_ != nullptr; }
 
@@ -83,10 +87,41 @@ class Layout {
     return ChunkAssignment(registry().num_samples(), width_, placement_);
   }
 
-  /// Derives the Layout for the same dataset re-striped at `new_width`.
-  /// Pure and local: per-sample lengths and checksums are read from this
-  /// layout's registry, so every rank computes the identical result with
-  /// no communication.  `new_width` must divide nranks().
+  // ---- hot/cold partition (out-of-core tiering) -------------------------
+  //
+  // The hot set of each owner's chunk is its storage-order *prefix*: the
+  // samples whose byte extents fit entirely inside the first
+  // ceil(hot_fraction * chunk_bytes) bytes.  A prefix (rather than a
+  // scattered subset) keeps the hot shard a contiguous window region, makes
+  // hotness a pure O(1) registry comparison, and — because offsets are a
+  // placement fact shared by every replica group — gives every rank the
+  // identical partition with no communication.
+
+  double hot_fraction() const { return hot_fraction_; }
+  /// True when this layout carries a real hot/cold split.
+  bool tiered() const { return hot_fraction_ < 1.0; }
+
+  /// Hot-prefix byte budget of `owner`'s chunk (the whole chunk when not
+  /// tiered).
+  std::uint64_t hot_bytes(int owner) const;
+  /// True when `id`'s full byte extent sits inside its owner's hot prefix.
+  /// Always true when the layout is not tiered.
+  bool is_hot(std::uint64_t id) const;
+  /// Hot samples in `owner`'s chunk and the exact bytes they span (the sum
+  /// of hot-sample lengths; <= hot_bytes(owner)).  O(chunk) — planner and
+  /// test usage, not the per-fetch path.
+  std::uint64_t hot_samples_of(int owner) const;
+  std::uint64_t hot_prefix_bytes(int owner) const;
+
+  /// Same layout with a different hot fraction (tiering knob only; the
+  /// striping is untouched).
+  Layout with_hot_fraction(double hot_fraction) const;
+
+  /// Derives the Layout for the same dataset re-striped at `new_width`,
+  /// preserving the hot fraction.  Pure and local: per-sample lengths and
+  /// checksums are read from this layout's registry, so every rank computes
+  /// the identical result with no communication.  `new_width` must divide
+  /// nranks().
   Layout with_width(int new_width) const;
 
  private:
@@ -94,6 +129,7 @@ class Layout {
   int width_ = 1;
   Placement placement_ = Placement::Block;
   std::shared_ptr<const DataRegistry> registry_;
+  double hot_fraction_ = 1.0;
 };
 
 }  // namespace dds::core

@@ -10,6 +10,10 @@
 #include "core/registry.hpp"
 #include "formats/reader.hpp"
 
+namespace dds::fs {
+class NvmeTier;
+}
+
 namespace dds::core {
 
 /// The communication framework 'f' of DS = (c, w, f).  The paper's design
@@ -92,6 +96,50 @@ struct HedgePolicy {
   double quarantine_below = 0.3;
 };
 
+/// What happens to a sample staged in from the cold tier once its bytes
+/// have been consumed.
+enum class TierAdmission {
+  /// Staged bytes are promoted into the rank's staged set (a bounded LRU
+  /// inside the hot shard), so re-touches are served at memory speed.
+  Promote,
+  /// Staged bytes are handed to the caller and dropped — every cold touch
+  /// re-stages (GIDS's pure streaming mode; useful when the shuffle never
+  /// revisits a sample within its residency window).
+  Transient,
+};
+
+/// Two-tier (out-of-core) store policy.  With hot_fraction < 1 each owner
+/// pins only the storage-order prefix of its chunk in the RMA window's
+/// *hot shard*; the suffix lives in the cold tier (the simulated parallel
+/// FS through the container reader, optionally fronted by node-local
+/// NVMe).  Cold misses are enqueued into a deep asynchronous staging queue
+/// whose completions are modeled at issue time without advancing any clock
+/// (the get_deferred pattern), so staging overlaps hot RMA traffic and —
+/// through the prefetching loader's double buffer — training compute.
+///
+/// Off by default (hot_fraction = 1.0): no tier counters are registered
+/// and no staging branch is taken, so the default counter layout and the
+/// committed CI perf baseline stay byte-identical, exactly like the
+/// elastic and hedge gates.
+struct TieredConfig {
+  /// Fraction of each owner's chunk bytes pinned hot; 1.0 disables tiering.
+  double hot_fraction = 1.0;
+  /// Maximum in-flight cold-tier reads per rank: deeper queues hide more
+  /// storage latency, shallower ones model constrained submission rings.
+  int staging_depth = 8;
+  TierAdmission admission = TierAdmission::Promote;
+  /// Capacity of the per-rank staged set in actual payload bytes;
+  /// 0 sizes it automatically to the rank's cold-prefix complement
+  /// (hot shards plus staged set never exceed one full chunk).
+  std::uint64_t staged_set_bytes = 0;
+  /// Optional node-local NVMe middle tier between the staging queue and
+  /// the parallel FS (non-owning; must outlive the store).  Staged reads
+  /// hit the device when resident and admit on miss, all in deferred time.
+  fs::NvmeTier* nvme = nullptr;
+
+  bool enabled() const { return hot_fraction < 1.0; }
+};
+
 struct DDStoreConfig {
   /// Replica-group cardinality w; 0 means w = comm.size() (single replica,
   /// the paper's default).  comm.size() must be divisible by width.
@@ -129,6 +177,10 @@ struct DDStoreConfig {
   /// Gray-failure robustness: hedged fetches + health steering (see
   /// HedgePolicy).  Off by default for the same baseline reason.
   HedgePolicy hedge;
+  /// Out-of-core tiering: hot-shard windows over a cold tier with async
+  /// staging (see TieredConfig).  Off by default for the same baseline
+  /// reason.
+  TieredConfig tiered;
 };
 
 /// A point-in-time view over the store's MetricsRegistry, materialized by
@@ -188,12 +240,26 @@ struct DDStoreStats {
   /// (health steering engaged before any breaker opened).
   std::uint64_t quarantine_steers = 0;
 
+  // Tiering counters (all zero unless TieredConfig::enabled()).
+  std::uint64_t cold_misses = 0;      ///< unique cold lookups sent to staging
+  std::uint64_t staged_hits = 0;      ///< unique cold lookups served staged-set
+  std::uint64_t staged_hit_bytes = 0; ///< actual bytes those hits served
+  std::uint64_t staged_bytes = 0;     ///< actual bytes read from the cold tier
+  std::uint64_t staged_evictions = 0; ///< staged-set entries displaced
+  std::uint64_t stage_nvme_hits = 0;  ///< staged reads served by the NVMe tier
+  /// Staged reads whose issue slipped because all staging_depth slots were
+  /// in flight (queue backpressure engaged).
+  std::uint64_t stage_backpressure_delays = 0;
+
   // Elastic counters (all zero unless DDStoreConfig::elastic is on).
   std::uint64_t reshards = 0;            ///< adopted layout swaps
   std::uint64_t reshard_pull_bytes = 0;  ///< bytes pulled from remote chunks
   std::uint64_t reshard_keep_bytes = 0;  ///< bytes reused from the old chunk
   std::uint64_t rank_rebuilds = 0;       ///< dead-rank chunks rebuilt
   std::uint64_t rebuild_bytes = 0;       ///< bytes re-hosted by rebuilds
+  /// Bytes re-staged from the cold tier because a reshard made them hot on
+  /// a rank where no old layout held them hot (tiered reshards only).
+  std::uint64_t reshard_cold_stage_bytes = 0;
 
   // Preload facts: set once at construction, preserved by reset_stats()
   // (epoch-boundary resets must not erase what construction cost).

@@ -138,7 +138,8 @@ int ElasticDriver::on_epoch_end(double epoch_seconds) {
       const core::Layout to = store_.layout().with_width(down);
       cost_down = estimate_reshard_seconds(
           plan_reshard(store_.layout(), to),
-          store_.comm().runtime().machine(), store_.nominal_sample_bytes());
+          store_.comm().runtime().machine(), store_.nominal_sample_bytes(),
+          store_.config().tiered.staging_depth);
     }
     const AdaptiveWidthController::Decision decision =
         controller_.on_epoch(width, obs, cost_down);

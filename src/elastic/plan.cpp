@@ -57,12 +57,30 @@ ReshardPlan plan_reshard(const core::Layout& from, const core::Layout& to,
     // Per-source accumulation; std::map keeps pulls ascending by source.
     std::map<int, PullPlan> by_source;
 
+    // Cold-stage accumulation, keyed like pulls (source is the old
+    // own-group holder — bookkeeping only; the bytes come from storage).
+    std::map<int, PullPlan> cold_by_source;
+
     // New chunk storage order == ascending dst offsets, so merged runs
     // come out maximal without a sort.
     for (const std::uint64_t id : target.ids_of(owner_new)) {
+      // Tiered: only the hot set re-stripes.  A sample cold under the new
+      // layout stays in the cold tier; one hot under the new layout but
+      // cold under the old one was never RMA-addressable and must be
+      // re-staged from storage instead of pulled.
+      if (!to.is_hot(id)) continue;
       const core::DataRegistry::Entry& e_new = new_reg.lookup(id);
       const core::DataRegistry::Entry& e_old = old_reg.lookup(id);
       const int owner_old = static_cast<int>(e_old.owner);
+      if (!from.is_hot(id)) {
+        const int holder = from.holder(from.group_of(r), owner_old);
+        PullPlan& cs = cold_by_source[holder];
+        cs.source = holder;
+        append_merged(cs.segments, e_old.offset, e_new.offset, e_old.length);
+        cs.bytes += e_old.length;
+        ++cs.samples;
+        continue;
+      }
       if (owner_old == my_old_chunk) {
         append_merged(rp.keeps, e_old.offset, e_new.offset, e_old.length);
         rp.keep_bytes += e_old.length;
@@ -98,8 +116,15 @@ ReshardPlan plan_reshard(const core::Layout& from, const core::Layout& to,
       rp.pull_samples += pull.samples;
       rp.pulls.push_back(std::move(pull));
     }
+    rp.cold_stages.reserve(cold_by_source.size());
+    for (auto& [src, cs] : cold_by_source) {
+      rp.cold_stage_bytes += cs.bytes;
+      rp.cold_stage_samples += cs.samples;
+      rp.cold_stages.push_back(std::move(cs));
+    }
     plan.total_pull_bytes += rp.pull_bytes;
     plan.total_keep_bytes += rp.keep_bytes;
+    plan.total_cold_stage_bytes += rp.cold_stage_bytes;
   }
   return plan;
 }
@@ -126,24 +151,60 @@ ReshardPlan plan_rebuild(const core::Layout& layout, int dead_rank) {
         layout.chunk_bytes_of_rank(r);
   }
 
-  // The whole chunk from the nearest surviving twin, as one segment.
+  // The hot prefix from the nearest surviving twin, as one segment.  In a
+  // tiered layout only the hot prefix was ever RMA-addressable; the cold
+  // remainder is re-staged from storage (one cold_stages entry).  With
+  // hot_fraction == 1 the prefix is the whole chunk and the plan is
+  // unchanged.
   RankReshardPlan& rp = plan.ranks[static_cast<std::size_t>(dead_rank)];
   const int twin = layout.holder((my_group + 1) % replicas, owner);
-  PullPlan pull;
-  pull.source = twin;
-  pull.bytes = layout.chunk_bytes(owner);
-  pull.samples = layout.assignment().chunk_size(owner);
-  pull.segments.push_back(CopySegment{0, 0, pull.bytes});
-  rp.pull_bytes = pull.bytes;
-  rp.pull_samples = pull.samples;
-  rp.pulls.push_back(std::move(pull));
+  const std::uint64_t chunk_bytes = layout.chunk_bytes(owner);
+  const std::uint64_t chunk_samples = layout.assignment().chunk_size(owner);
+  const std::uint64_t hot_bytes = layout.hot_prefix_bytes(owner);
+  const std::uint64_t hot_samples = layout.hot_samples_of(owner);
+  if (hot_bytes > 0) {
+    PullPlan pull;
+    pull.source = twin;
+    pull.bytes = hot_bytes;
+    pull.samples = hot_samples;
+    pull.segments.push_back(CopySegment{0, 0, pull.bytes});
+    rp.pull_bytes = pull.bytes;
+    rp.pull_samples = pull.samples;
+    rp.pulls.push_back(std::move(pull));
+  }
+  if (hot_bytes < chunk_bytes) {
+    PullPlan cs;
+    cs.source = twin;
+    cs.bytes = chunk_bytes - hot_bytes;
+    cs.samples = chunk_samples - hot_samples;
+    cs.segments.push_back(CopySegment{hot_bytes, hot_bytes, cs.bytes});
+    rp.cold_stage_bytes = cs.bytes;
+    rp.cold_stage_samples = cs.samples;
+    rp.cold_stages.push_back(std::move(cs));
+  }
   plan.total_pull_bytes = rp.pull_bytes;
+  plan.total_cold_stage_bytes = rp.cold_stage_bytes;
   return plan;
+}
+
+double cold_stage_seconds(std::uint64_t samples,
+                          std::uint64_t nominal_sample_bytes,
+                          const model::FsParams& fs, int staging_depth) {
+  if (samples == 0) return 0.0;
+  DDS_CHECK(staging_depth >= 1);
+  const auto rounds =
+      (samples + static_cast<std::uint64_t>(staging_depth) - 1) /
+      static_cast<std::uint64_t>(staging_depth);
+  return static_cast<double>(rounds) *
+             (fs.read_latency_s + fs.random_read_penalty_s) +
+         static_cast<double>(samples * nominal_sample_bytes) /
+             fs.aggregate_bandwidth_Bps;
 }
 
 double estimate_reshard_seconds(const ReshardPlan& plan,
                                 const model::MachineConfig& machine,
-                                std::uint64_t nominal_sample_bytes) {
+                                std::uint64_t nominal_sample_bytes,
+                                int staging_depth) {
   const model::NetworkParams& net = machine.net;
   double worst = 0.0;
   for (const RankReshardPlan& rp : plan.ranks) {
@@ -167,6 +228,8 @@ double estimate_reshard_seconds(const ReshardPlan& plan,
       t += static_cast<double>(rp.keep_samples * nominal_sample_bytes) /
            machine.cpu.memcpy_bandwidth_Bps;
     }
+    t += cold_stage_seconds(rp.cold_stage_samples, nominal_sample_bytes,
+                            machine.fs, staging_depth);
     worst = std::max(worst, t);
   }
   return worst;

@@ -50,14 +50,29 @@ struct PullPlan {
 };
 
 /// One rank's complete reshard work.
+///
+/// Under a tiered layout (hot_fraction < 1) only the *hot* samples of the
+/// new chunk are classified: keeps and pulls re-stripe the bytes that were
+/// RMA-addressable under the old layout, while a sample that is hot in the
+/// new layout but was cold in the old one cannot be pulled over the wire —
+/// it must be re-staged from the cold tier, and lands in `cold_stages`
+/// (grouped by the old own-group holder, bookkeeping only; the bytes come
+/// from storage).  Samples cold in the new layout stay in the cold tier
+/// and never enter the plan.  With hot_fraction == 1 on both sides every
+/// sample is hot and the plan is byte-identical to the untied form.
 struct RankReshardPlan {
   int rank = -1;
   std::vector<CopySegment> keeps;  ///< old chunk -> new chunk, local memcpy
   std::vector<PullPlan> pulls;     ///< ascending by source rank
+  /// Hot in `to` but cold in `from`: staged from the cold tier, priced by
+  /// the staging-queue model, never pulled through the RMA window.
+  std::vector<PullPlan> cold_stages;
   std::uint64_t keep_bytes = 0;
   std::uint64_t keep_samples = 0;
   std::uint64_t pull_bytes = 0;
   std::uint64_t pull_samples = 0;
+  std::uint64_t cold_stage_bytes = 0;
+  std::uint64_t cold_stage_samples = 0;
   std::uint64_t new_chunk_bytes = 0;
 };
 
@@ -68,6 +83,7 @@ struct ReshardPlan {
   std::vector<RankReshardPlan> ranks;
   std::uint64_t total_pull_bytes = 0;
   std::uint64_t total_keep_bytes = 0;
+  std::uint64_t total_cold_stage_bytes = 0;
 };
 
 /// Diffs two layouts over the same dataset and communicator into a
@@ -85,11 +101,25 @@ ReshardPlan plan_rebuild(const core::Layout& layout, int dead_rank);
 
 /// Analytic cost of executing `plan`: the slowest rank's pull time (RMA
 /// overhead + segment descriptors + wire bytes at nominal scale) plus its
-/// keep memcpy time.  Pure — uses MachineConfig constants only, no queueing
-/// state — so every rank computes the identical estimate the width
-/// controller weighs against its modeled benefit.
+/// keep memcpy time, plus — for a tiered plan — the cold re-staging time:
+/// ceil(samples / staging_depth) issue rounds each paying the FS read
+/// latency and seek penalty, plus the nominal bytes over the aggregate FS
+/// bandwidth.  Matches the executor's cold-stage charge exactly (the model
+/// is unit-tested against it).  Pure — uses MachineConfig constants only,
+/// no queueing state — so every rank computes the identical estimate the
+/// width controller weighs against its modeled benefit.
 double estimate_reshard_seconds(const ReshardPlan& plan,
                                 const model::MachineConfig& machine,
-                                std::uint64_t nominal_sample_bytes);
+                                std::uint64_t nominal_sample_bytes,
+                                int staging_depth = 8);
+
+/// The analytic cold re-staging model shared by estimate_reshard_seconds
+/// and the reshard executor (which charges exactly this): a depth-bounded
+/// staging queue issues ceil(samples / staging_depth) rounds, each paying
+/// the FS read latency plus seek penalty, and the nominal bytes stream at
+/// the aggregate FS bandwidth.
+double cold_stage_seconds(std::uint64_t samples,
+                          std::uint64_t nominal_sample_bytes,
+                          const model::FsParams& fs, int staging_depth);
 
 }  // namespace dds::elastic

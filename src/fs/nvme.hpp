@@ -11,6 +11,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "common/units.hpp"
 #include "fs/pagecache.hpp"
@@ -25,6 +27,24 @@ struct NvmeParams {
   double write_latency_s = 30e-6;
   double read_bandwidth_Bps = 5.5e9;
   double write_bandwidth_Bps = 2.1e9;
+
+  /// Loud construction-time validation: a zero or negative bandwidth or
+  /// latency silently yields infinite/NaN modeled times far from the bad
+  /// parameter, so NvmeTier rejects such configs up front.
+  void validate() const {
+    const auto require = [](bool ok, const char* what) {
+      if (!ok) {
+        throw ConfigError(std::string("NvmeParams: ") + what +
+                          " must be positive (zero/negative values produce "
+                          "infinite or NaN modeled times)");
+      }
+    };
+    require(capacity_bytes > 0, "capacity_bytes");
+    require(read_latency_s > 0.0, "read_latency_s");
+    require(write_latency_s > 0.0, "write_latency_s");
+    require(read_bandwidth_Bps > 0.0, "read_bandwidth_Bps");
+    require(write_bandwidth_Bps > 0.0, "write_bandwidth_Bps");
+  }
 };
 
 class NvmeTier {
@@ -32,6 +52,7 @@ class NvmeTier {
   NvmeTier(NvmeParams params, int nnodes)
       : params_(params) {
     DDS_CHECK(nnodes > 0);
+    params_.validate();
     for (int n = 0; n < nnodes; ++n) {
       nodes_.push_back(std::make_unique<Node>(params.capacity_bytes));
     }
@@ -68,6 +89,34 @@ class NvmeTier {
         clock.now() + params_.write_latency_s,
         static_cast<double>(nominal_bytes) / params_.write_bandwidth_Bps);
     clock.advance_to(done);
+  }
+
+  /// Deferred variant of try_read for asynchronous staging queues: decides
+  /// residency and, on a hit, returns the modeled completion of a read
+  /// issued at `start` WITHOUT advancing any clock (BusyResource::acquire
+  /// is clock-free).  On a miss returns no value; residency is recorded so
+  /// the caller stages from the backing store and charges admit_at().
+  std::optional<double> try_read_at(int node, std::uint64_t sample_id,
+                                    std::uint64_t nominal_bytes,
+                                    double start) {
+    Node& n = *nodes_.at(static_cast<std::size_t>(node));
+    if (n.resident.access(sample_id, 0, nominal_bytes)) {
+      return n.read_lane.acquire(
+          start + params_.read_latency_s,
+          static_cast<double>(nominal_bytes) / params_.read_bandwidth_Bps);
+    }
+    return std::nullopt;
+  }
+
+  /// Deferred variant of admit: models the staging write as issued at
+  /// `start` and returns its completion without touching any clock.
+  double admit_at(int node, std::uint64_t sample_id,
+                  std::uint64_t nominal_bytes, double start) {
+    (void)sample_id;
+    Node& n = *nodes_.at(static_cast<std::size_t>(node));
+    return n.write_lane.acquire(
+        start + params_.write_latency_s,
+        static_cast<double>(nominal_bytes) / params_.write_bandwidth_Bps);
   }
 
   std::uint64_t hits(int node) const {

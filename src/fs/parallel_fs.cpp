@@ -8,9 +8,35 @@
 
 namespace dds::fs {
 
+namespace {
+
+/// Loud construction-time validation: a zero or negative bandwidth or
+/// latency silently turns every modeled time into +/-inf or NaN dozens of
+/// calls later, far from the bad parameter.  Reject at the source instead.
+void validate_fs_params(const model::FsParams& p) {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) {
+      throw ConfigError(std::string("FsParams: ") + what +
+                        " must be positive (zero/negative values produce "
+                        "infinite or NaN modeled times)");
+    }
+  };
+  require(p.mds_service_s > 0.0, "mds_service_s");
+  require(p.mds_occupancy_s > 0.0, "mds_occupancy_s");
+  require(p.read_latency_s > 0.0, "read_latency_s");
+  require(p.random_read_penalty_s >= 0.0, "random_read_penalty_s (>= 0)");
+  require(p.aggregate_bandwidth_Bps > 0.0, "aggregate_bandwidth_Bps");
+  require(p.write_bandwidth_Bps > 0.0, "write_bandwidth_Bps");
+  require(p.cache_hit_s > 0.0, "cache_hit_s");
+  require(p.block_bytes > 0, "block_bytes");
+}
+
+}  // namespace
+
 ParallelFileSystem::ParallelFileSystem(model::FsParams params, int nnodes)
     : params_(params), nnodes_(nnodes) {
   DDS_CHECK(nnodes > 0);
+  validate_fs_params(params_);
   caches_.reserve(static_cast<std::size_t>(nnodes));
   for (int n = 0; n < nnodes; ++n) {
     caches_.push_back(
@@ -106,6 +132,23 @@ void ParallelFileSystem::reset_time_state() {
   mds_.reset();
   bandwidth_.reset();
   for (auto& c : caches_) c->clear();
+}
+
+double ParallelFileSystem::stage_read_at(double ready,
+                                         std::uint64_t nominal_bytes) {
+  // Fine-grained object read: per-call RPC latency plus the random-access
+  // seek cost, then the payload's share of the job-wide data path.  The
+  // shared BusyResource is what makes concurrent staging from many ranks
+  // contend exactly like every other timed FS read; acquire() never
+  // touches a clock, so completions can be modeled at issue time.
+  //
+  // Deliberately jitter-free: staging must not consume any rank's RNG
+  // stream, so arming tiering never perturbs fault/backoff sequences —
+  // the same determinism discipline the hedge path follows.
+  const double issue = ready + params_.read_latency_s +
+                       params_.random_read_penalty_s;
+  return bandwidth_.acquire(
+      issue, static_cast<double>(nominal_bytes) / params_.aggregate_bandwidth_Bps);
 }
 
 // ---- FsClient --------------------------------------------------------------

@@ -91,6 +91,17 @@ class ParallelFileSystem {
   /// Drops all page-cache state and FS queue backlog (between runs).
   void reset_time_state();
 
+  /// Deferred fine-grained staging read (the tiered store's cold tier):
+  /// queues `nominal_bytes` of demand at the shared data path as of
+  /// `ready` and returns the modeled completion — per-read latency plus
+  /// seek penalty plus the queued bandwidth share — WITHOUT touching any
+  /// clock.  The caller owns when (and whether) to advance to it; that is
+  /// what lets a deep staging queue overlap storage reads with RMA traffic
+  /// and compute (the get_deferred pattern).  Object reads, not block
+  /// reads: no page-cache participation and no block amplification,
+  /// mirroring GIDS-style fine-grained storage access.
+  double stage_read_at(double ready, std::uint64_t nominal_bytes);
+
   const model::FsParams& params() const { return params_; }
   int nnodes() const { return nnodes_; }
   PageCache& node_cache(int node) { return *caches_.at(static_cast<std::size_t>(node)); }
@@ -145,6 +156,8 @@ class FsClient {
   const FsClientStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   model::VirtualClock& clock() { return *clock_; }
+  ParallelFileSystem& fs() { return *fs_; }
+  int node() const { return node_; }
 
   /// Arms transient read-error injection for this client: while armed,
   /// timed preads may throw IoError per the injector's FS stream for

@@ -1,0 +1,26 @@
+#include "store/tier.hpp"
+
+namespace dds::store {
+
+StageCompletion ColdTier::stage_read(std::uint64_t sample_id,
+                                     std::uint64_t nominal_bytes,
+                                     double start) {
+  StageCompletion out;
+  if (nvme_ != nullptr) {
+    if (const auto hit =
+            nvme_->try_read_at(node_, sample_id, nominal_bytes, start)) {
+      out.done = *hit;
+      out.nvme_hit = true;
+      return out;
+    }
+    // Miss: stage from the parallel FS, then pay the admission write that
+    // lands the sample on the device (residency was recorded by the probe).
+    const double fs_done = fs_->stage_read_at(start, nominal_bytes);
+    out.done = nvme_->admit_at(node_, sample_id, nominal_bytes, fs_done);
+    return out;
+  }
+  out.done = fs_->stage_read_at(start, nominal_bytes);
+  return out;
+}
+
+}  // namespace dds::store

@@ -1,0 +1,66 @@
+// ColdTier: the storage side of the out-of-core tiered store.
+//
+// With TieredConfig::hot_fraction < 1 each owner pins only the
+// storage-order prefix of its chunk in the RMA window's hot shard; the
+// remaining samples live here — on the simulated parallel filesystem (the
+// CFF container the preloader read from), optionally fronted by a
+// node-local NVMe middle tier (FanStore's node-local container serving
+// many ranks from one footprint).
+//
+// Everything is expressed in *deferred* time: stage_read() models a read
+// issued at an explicit start time and returns its completion without
+// advancing any clock (the same discipline as RmaTransport::get_deferred).
+// That is what lets the Staging stage keep a deep queue of in-flight cold
+// reads (GIDS-style) whose completions race hot RMA traffic and training
+// compute; the consumer advances to a completion only when it actually
+// needs the bytes.
+//
+// Data plane vs timing plane: like the page cache and NvmeTier, this is a
+// timing construct in nominal-byte space.  The real sample bytes stay
+// resident in the owner's in-process chunk buffer (the simulation's data
+// plane); the Staging stage memcpys them from the owner's exposed region,
+// which is exactly why tiering can never change a delivered byte — only
+// when it arrives.
+#pragma once
+
+#include <cstdint>
+
+#include "fs/nvme.hpp"
+#include "fs/parallel_fs.hpp"
+
+namespace dds::store {
+
+/// Outcome of one modeled cold-tier read.
+struct StageCompletion {
+  double done = 0.0;     ///< modeled completion time of the staged read
+  bool nvme_hit = false; ///< served by the node-local middle tier
+};
+
+class ColdTier {
+ public:
+  /// `fs` is the shared parallel filesystem (its aggregate-bandwidth
+  /// resource is where concurrent staging from many ranks contends);
+  /// `nvme` is the optional middle tier (nullptr = none); `node` is the
+  /// calling rank's node.  All pointers are non-owning and must outlive
+  /// the tier.
+  ColdTier(fs::ParallelFileSystem& fs, fs::NvmeTier* nvme, int node)
+      : fs_(&fs), nvme_(nvme), node_(node) {}
+
+  /// Models one cold read of `nominal_bytes` for `sample_id`, issued at
+  /// `start`.  Never advances any clock and never draws from any RNG
+  /// stream.  With an NVMe middle tier: a resident sample is served by the
+  /// device; a miss stages from the parallel FS and then pays the device
+  /// admission write (the sample streams through the burst buffer), so
+  /// later epochs hit flash instead of the FS.
+  StageCompletion stage_read(std::uint64_t sample_id,
+                             std::uint64_t nominal_bytes, double start);
+
+  bool has_nvme() const { return nvme_ != nullptr; }
+
+ private:
+  fs::ParallelFileSystem* fs_;
+  fs::NvmeTier* nvme_;
+  int node_;
+};
+
+}  // namespace dds::store

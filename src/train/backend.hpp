@@ -7,6 +7,7 @@
 
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -24,14 +25,26 @@ class DataBackend {
   virtual graph::GraphSample load(std::uint64_t id) = 0;
 
   /// Timed load + decode of a whole batch, in request order.  The default
-  /// loops load(); backends with a batched fast path (DDStore's fetch
-  /// planner) override it, which is how the batch-fetch modes and the
-  /// prefetching loader engage coalesced transfers.
+  /// loops load() over *distinct* ids only — a sampler that repeats an id
+  /// within a batch pays the storage path once and copies the decoded
+  /// sample for later occurrences, matching the dedupe the DDStore fetch
+  /// planner performs.  Backends with a batched fast path override this,
+  /// which is how the batch-fetch modes and the prefetching loader engage
+  /// coalesced transfers.
   virtual std::vector<graph::GraphSample> load_batch(
       std::span<const std::uint64_t> ids) {
     std::vector<graph::GraphSample> out;
     out.reserve(ids.size());
-    for (const auto id : ids) out.push_back(load(id));
+    std::unordered_map<std::uint64_t, std::size_t> first_at;
+    first_at.reserve(ids.size());
+    for (const auto id : ids) {
+      const auto [it, fresh] = first_at.try_emplace(id, out.size());
+      if (fresh) {
+        out.push_back(load(id));
+      } else {
+        out.push_back(out[it->second]);
+      }
+    }
     return out;
   }
 

@@ -92,5 +92,46 @@ TEST(NvmeTier, SharedLaneQueuesConcurrentReads) {
   EXPECT_NEAR(b.now() - a.now(), 500e-6, 50e-6);
 }
 
+TEST(NvmeParams, ConstructionRejectsNonPositiveRates) {
+  // A zero bandwidth or latency silently produces infinite/NaN modeled
+  // times; the tier must refuse loudly at construction instead.
+  const auto expect_rejected = [](void (*break_one)(NvmeParams&)) {
+    NvmeParams p = small_params();
+    break_one(p);
+    EXPECT_THROW(p.validate(), ConfigError);
+    EXPECT_THROW(NvmeTier(p, 1), ConfigError);
+  };
+  expect_rejected([](NvmeParams& p) { p.capacity_bytes = 0; });
+  expect_rejected([](NvmeParams& p) { p.read_latency_s = 0.0; });
+  expect_rejected([](NvmeParams& p) { p.read_latency_s = -1e-6; });
+  expect_rejected([](NvmeParams& p) { p.write_latency_s = 0.0; });
+  expect_rejected([](NvmeParams& p) { p.read_bandwidth_Bps = 0.0; });
+  expect_rejected([](NvmeParams& p) { p.read_bandwidth_Bps = -1e9; });
+  expect_rejected([](NvmeParams& p) { p.write_bandwidth_Bps = 0.0; });
+  EXPECT_NO_THROW(small_params().validate());
+}
+
+TEST(NvmeTier, DeferredReadsMatchClockDrivenPricing) {
+  // One tier driven by a clock, a twin driven by the deferred *_at calls
+  // from the same start times: identical residency decisions, identical
+  // modeled completions — and the deferred path never touches a clock.
+  NvmeTier clocked(small_params(), 1);
+  NvmeTier deferred(small_params(), 1);
+  model::VirtualClock clock;
+
+  EXPECT_FALSE(clocked.try_read(0, 7, 1000, clock));
+  EXPECT_FALSE(deferred.try_read_at(0, 7, 1000, 0.0).has_value());
+  clocked.admit(0, 7, 1000, clock);
+  const double staged = deferred.admit_at(0, 7, 1000, 0.0);
+  EXPECT_GT(staged, 0.0);
+  EXPECT_DOUBLE_EQ(staged, clock.now());
+
+  const double start = clock.now();
+  ASSERT_TRUE(clocked.try_read(0, 7, 1000, clock));
+  const auto done = deferred.try_read_at(0, 7, 1000, start);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_DOUBLE_EQ(*done, clock.now());
+}
+
 }  // namespace
 }  // namespace dds::fs

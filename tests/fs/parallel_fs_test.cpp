@@ -196,5 +196,48 @@ TEST_F(FsTest, UsableFromRankThreads) {
   });
 }
 
+TEST(FsParamsValidation, ConstructionRejectsNonPositiveRates) {
+  // A zero bandwidth/latency yields infinite or NaN modeled times far from
+  // the bad parameter; the filesystem must refuse loudly at construction.
+  const auto expect_rejected = [](void (*break_one)(model::FsParams&)) {
+    model::FsParams p = test_machine().fs;
+    break_one(p);
+    EXPECT_THROW(ParallelFileSystem(p, 1), ConfigError);
+  };
+  expect_rejected([](model::FsParams& p) { p.mds_service_s = 0.0; });
+  expect_rejected([](model::FsParams& p) { p.mds_occupancy_s = -1e-6; });
+  expect_rejected([](model::FsParams& p) { p.read_latency_s = 0.0; });
+  expect_rejected([](model::FsParams& p) { p.aggregate_bandwidth_Bps = 0.0; });
+  expect_rejected(
+      [](model::FsParams& p) { p.aggregate_bandwidth_Bps = -12e9; });
+  expect_rejected([](model::FsParams& p) { p.write_bandwidth_Bps = 0.0; });
+  expect_rejected([](model::FsParams& p) { p.cache_hit_s = 0.0; });
+  expect_rejected([](model::FsParams& p) { p.block_bytes = 0; });
+  // The seek penalty may be exactly zero (sequential-only model), but
+  // never negative.
+  model::FsParams ok = test_machine().fs;
+  ok.random_read_penalty_s = 0.0;
+  EXPECT_NO_THROW(ParallelFileSystem(ok, 1));
+  ok.random_read_penalty_s = -1e-6;
+  EXPECT_THROW(ParallelFileSystem(ok, 1), ConfigError);
+}
+
+TEST_F(FsTest, StageReadAtIsDeferredDeterministicAndContended) {
+  // The staging-queue read model: completion = issue latency + seek
+  // penalty + nominal bytes over the shared aggregate bandwidth — computed
+  // without a clock and without RNG jitter (byte-identity discipline).
+  const model::FsParams& p = test_machine().fs;
+  const std::uint64_t nominal = 1'000'000;
+  const double d1 = fs_.stage_read_at(0.0, nominal);
+  EXPECT_DOUBLE_EQ(d1, p.read_latency_s + p.random_read_penalty_s +
+                           static_cast<double>(nominal) /
+                               p.aggregate_bandwidth_Bps);
+  // The bandwidth lane is shared: a second read issued at the same instant
+  // queues behind the first.
+  const double d2 = fs_.stage_read_at(0.0, nominal);
+  EXPECT_GT(d2, d1);
+  EXPECT_DOUBLE_EQ(clock_.now(), 0.0);  // nothing here touches a clock
+}
+
 }  // namespace
 }  // namespace dds::fs

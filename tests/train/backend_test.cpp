@@ -1,0 +1,71 @@
+// DataBackend default-path tests: the base-class load_batch must pay the
+// storage path once per *distinct* id and copy decoded samples for
+// repeated occurrences, matching the dedupe the DDStore fetch planner
+// performs on its batched path.
+#include "train/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/dataset.hpp"
+
+namespace dds::train {
+namespace {
+
+/// Minimal backend over a synthetic dataset that counts load() calls per
+/// id — exercising DataBackend's default load_batch.
+class CountingBackend final : public DataBackend {
+ public:
+  explicit CountingBackend(const datagen::SyntheticDataset& ds) : ds_(&ds) {}
+
+  graph::GraphSample load(std::uint64_t id) override {
+    ++loads_[id];
+    return ds_->make(id);
+  }
+  std::uint64_t num_samples() const override { return ds_->size(); }
+  std::uint64_t nominal_sample_bytes() const override { return 1; }
+  std::string name() const override { return "counting"; }
+
+  const std::map<std::uint64_t, int>& loads() const { return loads_; }
+
+ private:
+  const datagen::SyntheticDataset* ds_;
+  std::map<std::uint64_t, int> loads_;
+};
+
+TEST(DataBackendDefaults, LoadBatchDedupesRepeatedIdsWithinABatch) {
+  const auto ds =
+      datagen::make_dataset(datagen::DatasetKind::AisdHomoLumo, 16, 7);
+  CountingBackend backend(*ds);
+  const std::vector<std::uint64_t> ids = {3, 9, 3, 3, 12, 9, 0};
+  const auto batch =
+      backend.load_batch(std::span<const std::uint64_t>(ids));
+  ASSERT_EQ(batch.size(), ids.size());
+  // Request order and duplicate occurrences are preserved...
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i], ds->make(ids[i])) << "position " << i;
+  }
+  // ...but each distinct id hit the storage path exactly once.
+  EXPECT_EQ(backend.loads().size(), 4u);
+  for (const auto& [id, count] : backend.loads()) {
+    EXPECT_EQ(count, 1) << "id " << id;
+  }
+}
+
+TEST(DataBackendDefaults, LoadBatchWithoutDuplicatesIsUnchanged) {
+  const auto ds =
+      datagen::make_dataset(datagen::DatasetKind::AisdHomoLumo, 8, 7);
+  CountingBackend backend(*ds);
+  const std::vector<std::uint64_t> ids = {5, 1, 7, 2};
+  const auto batch =
+      backend.load_batch(std::span<const std::uint64_t>(ids));
+  ASSERT_EQ(batch.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i], ds->make(ids[i]));
+  }
+  EXPECT_EQ(backend.loads().size(), 4u);
+}
+
+}  // namespace
+}  // namespace dds::train
