@@ -13,12 +13,17 @@
 // --smoke runs a short curve at hot fractions {1.0, 0.5, 0.25} and exits
 // nonzero unless every tiered curve is bit-identical to the fully
 // resident one: the out-of-core store changes when bytes arrive, never
-// which bytes, so convergence cannot depend on the hot fraction.
+// which bytes, so convergence cannot depend on the hot fraction.  It then
+// repeats the check across locality modes: under canonical gradient
+// reduction the owner-greedy batch scheduler (src/sched) must reproduce
+// the shuffle's loss curve bit for bit — it only moves samples between
+// ranks, never in or out of a global batch.
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "common/harness.hpp"
+#include "sched/sampler.hpp"
 
 using namespace dds;
 using namespace dds::bench;
@@ -35,11 +40,15 @@ struct EpochPoint {
 
 /// Runs `epochs` of real-GNN training at the given hot fraction and
 /// returns the loss curve (rank-0 view; losses are allreduced, so every
-/// rank agrees).  `print` emits the Fig. 13 rows.
-std::vector<EpochPoint> run_curve(StagedData& data,
-                                  const model::MachineConfig& machine,
-                                  int epochs, double hot_fraction,
-                                  bool print) {
+/// rank agrees).  `print` emits the Fig. 13 rows.  With `reduction` set
+/// to Canonical the run uses slot-ordered gradient folding and the
+/// locality sampler in `mode` (width = nranks, so OwnerGreedy actually
+/// reassigns samples across ranks).
+std::vector<EpochPoint> run_curve(
+    StagedData& data, const model::MachineConfig& machine, int epochs,
+    double hot_fraction, bool print,
+    train::GradReduction reduction = train::GradReduction::PerRank,
+    core::LocalityMode mode = core::LocalityMode::Shuffle) {
   data.fs().reset_time_state();
   std::vector<EpochPoint> curve;
   simmpi::Runtime rt(kRanks, machine);
@@ -48,6 +57,10 @@ std::vector<EpochPoint> run_curve(StagedData& data,
                         comm.clock(), comm.rng());
     core::DDStoreConfig store_cfg;
     store_cfg.tiered.hot_fraction = hot_fraction;
+    store_cfg.locality_mode = mode;
+    if (reduction == train::GradReduction::Canonical) {
+      store_cfg.width = kRanks;
+    }
     core::DDStore store(comm, data.cff(), client, store_cfg);
     train::DDStoreBackend backend(store);
 
@@ -62,7 +75,15 @@ std::vector<EpochPoint> run_curve(StagedData& data,
     cfg.optimizer.weight_decay = 1e-4;
     cfg.plateau_factor = 0.5;
     cfg.plateau_patience = 8;
-    train::RealTrainer trainer(comm, backend, cfg);
+    cfg.reduction = reduction;
+    const auto train_size = static_cast<std::uint64_t>(
+        static_cast<double>(data.dataset().size()) * cfg.train_fraction);
+    sched::LocalityAwareSampler sampler(
+        train::GlobalShuffleSampler(train_size, cfg.local_batch, cfg.seed),
+        &store.layout(), mode);
+    const bool external = mode != core::LocalityMode::Shuffle;
+    train::RealTrainer trainer(comm, backend, cfg,
+                               external ? &sampler : nullptr);
 
     for (int epoch = 0; epoch < epochs; ++epoch) {
       const auto r = trainer.run_epoch(static_cast<std::uint64_t>(epoch));
@@ -116,5 +137,24 @@ int main(int argc, char** argv) {
                          "over %d epochs\n",
                  hf, epochs);
   }
+
+  // Acceptance: the locality-aware scheduler must not move a loss bit
+  // either (canonical reduction on both sides; only placement differs).
+  const auto canon_shuffle =
+      run_curve(data, machine, epochs, /*hot_fraction=*/1.0, /*print=*/false,
+                train::GradReduction::Canonical, core::LocalityMode::Shuffle);
+  const auto canon_greedy = run_curve(
+      data, machine, epochs, /*hot_fraction=*/1.0, /*print=*/false,
+      train::GradReduction::Canonical, core::LocalityMode::OwnerGreedy);
+  if (canon_greedy != canon_shuffle) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: owner-greedy loss curve diverged from the "
+                 "shuffle curve under canonical reduction\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "smoke ok: owner-greedy curve bit-identical to shuffle over "
+               "%d epochs\n",
+               epochs);
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "sched/sampler.hpp"
+
 namespace dds::bench {
 
 namespace {
@@ -173,6 +175,15 @@ RunResult run_training(StagedData& data, const Scenario& scenario,
     if (scenario.shuffle == ShuffleKind::Local) {
       sampler = std::make_unique<train::LocalShuffleSampler>(
           data.dataset().size(), scenario.local_batch, scenario.seed);
+    } else if (store != nullptr &&
+               scenario.ddstore.locality_mode != core::LocalityMode::Shuffle) {
+      // Locality-aware batch scheduling: same global shuffle, but each
+      // global batch's slots are re-matched onto owning ranks against the
+      // store's *live* layout (tracks elastic reshards automatically).
+      sampler = std::make_unique<sched::LocalityAwareSampler>(
+          train::GlobalShuffleSampler(data.dataset().size(),
+                                      scenario.local_batch, scenario.seed),
+          &store->layout(), scenario.ddstore.locality_mode);
     } else {
       sampler = std::make_unique<train::GlobalShuffleSampler>(
           data.dataset().size(), scenario.local_batch, scenario.seed);

@@ -241,6 +241,9 @@ const DDStoreStats& DDStore::stats() const {
   s.stage_nvme_hits = metrics_.counter_value("stage_nvme_hits");
   s.stage_backpressure_delays =
       metrics_.counter_value("stage_backpressure_delays");
+  s.sched_local_planned = metrics_.counter_value("sched_local_planned");
+  s.sched_remote_planned = metrics_.counter_value("sched_remote_planned");
+  s.sched_remote_bytes = metrics_.counter_value("sched_remote_bytes");
   s.reshards = metrics_.counter_value("reshards");
   s.reshard_pull_bytes = metrics_.counter_value("reshard_pull_bytes");
   s.reshard_keep_bytes = metrics_.counter_value("reshard_keep_bytes");

@@ -120,6 +120,24 @@ struct TierMetrics {
   LatencyRecorder& stage_wait;
 };
 
+/// Scheduling counters, registered *after* FetchMetrics (and any
+/// HedgeMetrics/TierMetrics) and only when DDStoreConfig::locality_mode !=
+/// LocalityMode::Shuffle — same gating discipline: the default counter
+/// layout and the committed CI perf baseline never move.  These record
+/// what the locality-aware batch scheduler *planned* (local vs remote
+/// placements as classified at get time), which the bench sweep compares
+/// against the transport's actual local_gets/remote_gets.
+struct SchedMetrics {
+  explicit SchedMetrics(MetricsRegistry& registry)
+      : sched_local_planned(registry.counter("sched_local_planned")),
+        sched_remote_planned(registry.counter("sched_remote_planned")),
+        sched_remote_bytes(registry.counter("sched_remote_bytes")) {}
+
+  MetricsRegistry::Counter& sched_local_planned;
+  MetricsRegistry::Counter& sched_remote_planned;
+  MetricsRegistry::Counter& sched_remote_bytes;
+};
+
 /// Everything a fetch stage may consult.  All pointers are non-owning and
 /// outlive the engine (they point into the DDStore that built it).
 ///
@@ -143,6 +161,8 @@ struct FetchContext {
   HedgeMetrics* hedge = nullptr;
   /// Non-null iff config->tiered.enabled() (the Staging stage's switch).
   TierMetrics* tier = nullptr;
+  /// Non-null iff config->locality_mode != LocalityMode::Shuffle.
+  SchedMetrics* sched = nullptr;
 
   const DataRegistry& registry() const { return layout->registry(); }
   int width() const { return layout->width(); }

@@ -1,5 +1,6 @@
 #include "core/fetch/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 #include <unordered_map>
@@ -31,6 +32,31 @@ FetchEngine::FetchEngine(simmpi::Comm& comm, simmpi::Comm& group,
     ctx_.tier = &*tier_metrics_;
     cold_tier_.emplace(fs_client.fs(), config.tiered.nvme, fs_client.node());
     staging_.emplace(ctx_, transport_, *cold_tier_);
+  }
+  if (config.locality_mode != LocalityMode::Shuffle) {
+    sched_metrics_.emplace(metrics);
+    ctx_.sched = &*sched_metrics_;
+  }
+}
+
+void FetchEngine::account_sched(std::span<const std::uint64_t> ids) {
+  if (ctx_.sched == nullptr) return;
+  // Classify each unique id the way the scheduler's cost model does: a
+  // zero-cost placement iff this rank's chunk owns the sample *and* the
+  // sample is hot (cold-resident samples cost a staging read anywhere).
+  std::vector<std::uint64_t> unique(ids.begin(), ids.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  const Layout& layout = *ctx_.layout;
+  const int me = ctx_.group->rank();
+  SchedMetrics& sm = *ctx_.sched;
+  for (const std::uint64_t id : unique) {
+    if (layout.owner_of(id) == me && layout.is_hot(id)) {
+      ++sm.sched_local_planned;
+    } else {
+      ++sm.sched_remote_planned;
+      sm.sched_remote_bytes += ctx_.nominal_sample_bytes;
+    }
   }
 }
 
@@ -128,6 +154,7 @@ void FetchEngine::fetch_into(std::uint64_t id, MutableByteSpan dst,
 }
 
 graph::GraphSample FetchEngine::get(std::uint64_t id) {
+  account_sched(std::span<const std::uint64_t>(&id, 1));
   auto& clock = ctx_.clock();
   const double t0 = clock.now();
   const ByteBuffer bytes = get_bytes(id);
@@ -140,6 +167,7 @@ graph::GraphSample FetchEngine::get(std::uint64_t id) {
 std::vector<graph::GraphSample> FetchEngine::get_batch(
     std::span<const std::uint64_t> ids) {
   if (ids.empty()) return {};
+  account_sched(ids);
   // The planner paths assume one-sided access to the owners' exposed
   // regions; a two-sided broker serves requests individually, so batched
   // modes degenerate to the per-sample loop there.

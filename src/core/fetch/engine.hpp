@@ -122,6 +122,12 @@ class FetchEngine {
   /// the nominal payload at CPU memcpy bandwidth).
   void charge_cache_hit();
 
+  /// Scheduling accounting (no-op unless locality_mode != Shuffle): counts
+  /// each unique id of a request as planned-local or planned-remote under
+  /// the live layout, so the bench sweep can compare what the batch
+  /// scheduler placed against what the transport actually fetched.
+  void account_sched(std::span<const std::uint64_t> ids);
+
   /// Admits verified payload bytes into the cache (no-op when disabled).
   void admit(std::uint64_t id, ByteSpan bytes);
 
@@ -133,6 +139,9 @@ class FetchEngine {
   /// Registered after FetchMetrics/HedgeMetrics and only when
   /// config.tiered.enabled(), for the same baseline reason.
   std::optional<TierMetrics> tier_metrics_;
+  /// Registered last and only when config.locality_mode != Shuffle, for the
+  /// same baseline reason.
+  std::optional<SchedMetrics> sched_metrics_;
   FetchContext ctx_;
   formats::DecodeCost decode_;
   SampleCache cache_;

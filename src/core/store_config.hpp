@@ -96,6 +96,22 @@ struct HedgePolicy {
   double quarantine_below = 0.3;
 };
 
+/// How the per-step sample->rank assignment inside each global batch is
+/// chosen (src/sched/).  The per-batch *multiset* of samples is identical
+/// in every mode — only which rank executes which slice changes — so
+/// training semantics are preserved (bench_fig13_convergence gates the
+/// loss curves bit-identical across modes).
+enum class LocalityMode {
+  /// The paper's access pattern: rank r takes the r-th slice of the
+  /// shuffled global batch, so ~(w-1)/w of fetches are remote at width w.
+  Shuffle,
+  /// Owner-first greedy matching: each slot is placed on a rank whose
+  /// group-rank owns the sample's chunk (hot-tier-aware — a cold-resident
+  /// sample counts as remote everywhere), overflow round-robins.  Optimal
+  /// for the 0/1 cost model; see sched/assign.hpp.
+  OwnerGreedy,
+};
+
 /// What happens to a sample staged in from the cold tier once its bytes
 /// have been consumed.
 enum class TierAdmission {
@@ -181,6 +197,13 @@ struct DDStoreConfig {
   /// staging (see TieredConfig).  Off by default for the same baseline
   /// reason.
   TieredConfig tiered;
+  /// Locality-aware batch scheduling (src/sched/): when OwnerGreedy, the
+  /// sampler permutes each global batch's sample->rank assignment so
+  /// samples land on ranks that own them, and the engine registers the
+  /// sched_* planning counters.  Default Shuffle keeps the assignment —
+  /// and the committed CI perf baseline's counter layout — byte-identical
+  /// to the paper's sampler.
+  LocalityMode locality_mode = LocalityMode::Shuffle;
 };
 
 /// A point-in-time view over the store's MetricsRegistry, materialized by
@@ -250,6 +273,16 @@ struct DDStoreStats {
   /// Staged reads whose issue slipped because all staging_depth slots were
   /// in flight (queue backpressure engaged).
   std::uint64_t stage_backpressure_delays = 0;
+
+  // Scheduling counters (all zero unless locality_mode != Shuffle).  The
+  // fetch planner classifies every *planned* unique sample by where the
+  // scheduler put it: on a rank whose hot chunk holds it (scheduled-local)
+  // or not (scheduled-remote).  Against local_gets/remote_gets — which
+  // record what the wire actually did — these show how much of the
+  // scheduler's plan survived caching, failover, and staging.
+  std::uint64_t sched_local_planned = 0;   ///< unique samples planned local
+  std::uint64_t sched_remote_planned = 0;  ///< unique samples planned remote
+  std::uint64_t sched_remote_bytes = 0;    ///< nominal bytes planned remote
 
   // Elastic counters (all zero unless DDStoreConfig::elastic is on).
   std::uint64_t reshards = 0;            ///< adopted layout swaps

@@ -1,5 +1,7 @@
 #include "elastic/controller.hpp"
 
+#include <cmath>
+
 namespace dds::elastic {
 
 AdaptiveWidthController::AdaptiveWidthController(int nranks,
@@ -76,10 +78,21 @@ AdaptiveWidthController::Decision AdaptiveWidthController::on_epoch(
   const double remote_time = obs.fetch_seconds * remote_fraction;
   const double w = static_cast<double>(current_width);
   const double d = static_cast<double>(down);
-  const double saving_per_epoch =
-      current_width <= 1
-          ? 0.0
-          : remote_time * (1.0 / d - 1.0 / w) / (1.0 - 1.0 / w);
+  double saving_per_epoch = 0.0;
+  if (current_width > 1) {
+    if (obs.owner_greedy) {
+      // Owner-greedy scheduling: remote fetches are owner-class overflow.
+      // A class at width w receives ~Binomial(B, 1/w) samples against an
+      // exactly-matching mean capacity, so the expected overflow fraction
+      // is the folded-normal tail sqrt((w-1)/(2*pi*B)); stepping w -> d
+      // scales the (already small) remote time by sqrt((d-1)/(w-1)).
+      saving_per_epoch =
+          remote_time * (1.0 - std::sqrt((d - 1.0) / (w - 1.0)));
+    } else {
+      // Global shuffle: the remote share shrinks from (w-1)/w to (d-1)/d.
+      saving_per_epoch = remote_time * (1.0 / d - 1.0 / w) / (1.0 - 1.0 / w);
+    }
+  }
 
   if (saving_per_epoch * static_cast<double>(config_.amortize_epochs) >
       cost_down_s) {

@@ -36,6 +36,13 @@ struct WidthObservation {
   std::uint64_t local_gets = 0;
   std::uint64_t remote_gets = 0;
   std::uint64_t cache_hits = 0;
+  /// True when the trainer runs the owner-greedy batch scheduler
+  /// (core::LocalityMode::OwnerGreedy).  Remote fetches are then class
+  /// *overflow*, not the shuffle's (w-1)/w share, so a step down scales
+  /// them by sqrt((d-1)/(w-1)) rather than the shuffle ratio — the
+  /// controller must use the matching benefit model or it will price a
+  /// reshard off savings that do not exist.
+  bool owner_greedy = false;
 };
 
 struct WidthControllerConfig {

@@ -121,6 +121,8 @@ WidthObservation ElasticDriver::observe(double epoch_seconds) {
   obs.local_gets = static_cast<std::uint64_t>(sums[0]);
   obs.remote_gets = static_cast<std::uint64_t>(sums[1]);
   obs.cache_hits = static_cast<std::uint64_t>(sums[2]);
+  obs.owner_greedy =
+      store_.config().locality_mode == core::LocalityMode::OwnerGreedy;
   return obs;
 }
 

@@ -1,0 +1,97 @@
+#include "sched/assign.hpp"
+
+#include <algorithm>
+
+namespace dds::sched {
+
+bool is_local_assignment(std::uint64_t id, int rank,
+                         const core::Layout& layout) {
+  return layout.group_rank_of(rank) == layout.owner_of(id) &&
+         layout.is_hot(id);
+}
+
+BatchAssignment assign_owner_greedy(std::span<const std::uint64_t> ids,
+                                    const core::Layout& layout,
+                                    std::uint64_t local_batch) {
+  DDS_CHECK_MSG(layout.valid(), "assignment needs a valid layout");
+  DDS_CHECK(local_batch > 0);
+  const int nranks = layout.nranks();
+  const int width = layout.width();
+  const int groups = layout.num_groups();
+  DDS_CHECK_MSG(ids.size() == static_cast<std::size_t>(nranks) * local_batch,
+                "ids must be one whole global batch");
+
+  std::vector<std::vector<std::uint32_t>> per_rank(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::uint64_t> capacity(static_cast<std::size_t>(nranks),
+                                      local_batch);
+  // Round-robin cursor per owner class: spreads each class's samples over
+  // its replica groups instead of piling them onto group 0.
+  std::vector<int> next_group(static_cast<std::size_t>(width), 0);
+
+  BatchAssignment out;
+  out.local_batch = local_batch;
+
+  // Pass 1: owner-first.  A hot sample goes to any member of its owner
+  // class with spare capacity (all are equivalent zero-cost placements).
+  std::vector<std::uint32_t> overflow;
+  for (std::uint32_t slot = 0; slot < ids.size(); ++slot) {
+    const std::uint64_t id = ids[slot];
+    if (!layout.is_hot(id)) {
+      overflow.push_back(slot);
+      continue;
+    }
+    const int owner = layout.owner_of(id);
+    bool placed = false;
+    for (int probe = 0; probe < groups; ++probe) {
+      const int g = (next_group[static_cast<std::size_t>(owner)] + probe) %
+                    groups;
+      const int rank = layout.holder(g, owner);
+      if (capacity[static_cast<std::size_t>(rank)] == 0) continue;
+      --capacity[static_cast<std::size_t>(rank)];
+      per_rank[static_cast<std::size_t>(rank)].push_back(slot);
+      next_group[static_cast<std::size_t>(owner)] = (g + 1) % groups;
+      ++out.local_slots;
+      placed = true;
+      break;
+    }
+    if (!placed) overflow.push_back(slot);
+  }
+
+  // Pass 2: the overflow (class full) and every cold sample round-robin
+  // over the remaining capacity in rank order.  Total capacity equals the
+  // batch, so everything fits.
+  int cursor = 0;
+  for (const std::uint32_t slot : overflow) {
+    while (capacity[static_cast<std::size_t>(cursor)] == 0) {
+      cursor = (cursor + 1) % nranks;
+    }
+    --capacity[static_cast<std::size_t>(cursor)];
+    per_rank[static_cast<std::size_t>(cursor)].push_back(slot);
+    cursor = (cursor + 1) % nranks;
+  }
+
+  out.slots.reserve(ids.size());
+  for (auto& slots : per_rank) {
+    DDS_CHECK(slots.size() == local_batch);
+    // Canonical form: each rank runs its slots in shuffle order.
+    std::sort(slots.begin(), slots.end());
+    out.slots.insert(out.slots.end(), slots.begin(), slots.end());
+  }
+  return out;
+}
+
+std::uint64_t assignment_remote_cost(const BatchAssignment& assignment,
+                                     std::span<const std::uint64_t> ids,
+                                     const core::Layout& layout) {
+  std::uint64_t remote = 0;
+  const int nranks = assignment.nranks();
+  for (int rank = 0; rank < nranks; ++rank) {
+    for (const std::uint32_t slot : assignment.of_rank(rank)) {
+      if (!is_local_assignment(ids[slot], rank, layout)) ++remote;
+    }
+  }
+  return remote;
+}
+
+}  // namespace dds::sched

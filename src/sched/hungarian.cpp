@@ -1,0 +1,114 @@
+#include "sched/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dds::sched {
+
+std::uint64_t hungarian_min_cost(std::span<const std::uint64_t> cost,
+                                 std::size_t n,
+                                 std::vector<std::size_t>* row_of_col) {
+  DDS_CHECK(cost.size() == n * n);
+  if (n == 0) return 0;
+  // Kuhn–Munkres with potentials (rows added one at a time, shortest
+  // augmenting path by Dijkstra over reduced costs).  1-indexed internal
+  // arrays; column 0 is the virtual source.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  const auto a = [&](std::size_t i, std::size_t j) {
+    return static_cast<std::int64_t>(cost[(i - 1) * n + (j - 1)]);
+  };
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = a(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::uint64_t total = 0;
+  if (row_of_col != nullptr) row_of_col->assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    total += cost[(p[j] - 1) * n + (j - 1)];
+    if (row_of_col != nullptr) (*row_of_col)[j - 1] = p[j] - 1;
+  }
+  return total;
+}
+
+BatchAssignment assign_hungarian(std::span<const std::uint64_t> ids,
+                                 const core::Layout& layout,
+                                 std::uint64_t local_batch) {
+  DDS_CHECK_MSG(layout.valid(), "assignment needs a valid layout");
+  DDS_CHECK(local_batch > 0);
+  const std::size_t n = ids.size();
+  DDS_CHECK_MSG(
+      n == static_cast<std::size_t>(layout.nranks()) * local_batch,
+      "ids must be one whole global batch");
+
+  // Dense matrix: row = slot, column = rank-slot (column j belongs to rank
+  // j / local_batch).
+  std::vector<std::uint64_t> cost(n * n, 1);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    for (std::size_t col = 0; col < n; ++col) {
+      const int rank = static_cast<int>(col / local_batch);
+      if (is_local_assignment(ids[slot], rank, layout)) {
+        cost[slot * n + col] = 0;
+      }
+    }
+  }
+  std::vector<std::size_t> row_of_col;
+  hungarian_min_cost(cost, n, &row_of_col);
+
+  BatchAssignment out;
+  out.local_batch = local_batch;
+  out.slots.resize(n);
+  std::vector<std::uint32_t> rank_slots;
+  for (int rank = 0; rank < layout.nranks(); ++rank) {
+    rank_slots.clear();
+    for (std::uint64_t k = 0; k < local_batch; ++k) {
+      const std::size_t col =
+          static_cast<std::size_t>(rank) * local_batch + k;
+      rank_slots.push_back(static_cast<std::uint32_t>(row_of_col[col]));
+    }
+    std::sort(rank_slots.begin(), rank_slots.end());
+    for (std::uint64_t k = 0; k < local_batch; ++k) {
+      const std::uint32_t slot = rank_slots[static_cast<std::size_t>(k)];
+      out.slots[static_cast<std::size_t>(rank) * local_batch + k] = slot;
+      if (is_local_assignment(ids[slot], rank, layout)) ++out.local_slots;
+    }
+  }
+  return out;
+}
+
+}  // namespace dds::sched

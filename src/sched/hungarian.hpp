@@ -1,0 +1,35 @@
+// Exact assignment oracle: the Hungarian algorithm (Kuhn–Munkres with
+// potentials, O(B^3)) over the same 0/1 cost model as the greedy matcher.
+//
+// Not used on any hot path — the greedy owner-first pass is provably
+// optimal for this cost structure (disjoint zero-cost candidate classes;
+// see sched/assign.hpp).  The exact solver exists so tests can *prove*
+// that claim on small instances instead of trusting the argument, and so
+// a future richer cost model (per-sample bytes, per-link topology) has a
+// ready-made exact baseline to validate against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "sched/assign.hpp"
+
+namespace dds::sched {
+
+/// Minimum-cost perfect matching of `ids` (one whole global batch) onto
+/// the nranks * local_batch rank-slots, exact.  Intended for small B only
+/// (tests); O(B^3) time, O(B^2) memory for the dense cost matrix.
+BatchAssignment assign_hungarian(std::span<const std::uint64_t> ids,
+                                 const core::Layout& layout,
+                                 std::uint64_t local_batch);
+
+/// Minimum-cost value of a dense square cost matrix (row-major, n x n) —
+/// the bare solver, exposed so tests can exercise it on hand-built
+/// matrices independent of any Layout.
+std::uint64_t hungarian_min_cost(std::span<const std::uint64_t> cost,
+                                 std::size_t n,
+                                 std::vector<std::size_t>* row_of_col = nullptr);
+
+}  // namespace dds::sched

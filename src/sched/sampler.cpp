@@ -1,0 +1,65 @@
+#include "sched/sampler.hpp"
+
+#include <utility>
+
+namespace dds::sched {
+
+LocalityAwareSampler::LocalityAwareSampler(train::GlobalShuffleSampler inner,
+                                           const core::Layout* layout,
+                                           core::LocalityMode mode)
+    : inner_(std::move(inner)), layout_(layout), mode_(mode) {
+  DDS_CHECK(layout_ != nullptr);
+}
+
+void LocalityAwareSampler::begin_epoch(std::uint64_t epoch,
+                                       simmpi::Comm& comm) {
+  inner_.begin_epoch(epoch, comm);
+  if (mode_ != core::LocalityMode::Shuffle) {
+    DDS_CHECK_MSG(comm.size() == layout_->nranks(),
+                  "sampler comm does not match the store layout");
+  }
+}
+
+std::uint64_t LocalityAwareSampler::steps_per_epoch() const {
+  return inner_.steps_per_epoch();
+}
+
+std::uint64_t LocalityAwareSampler::local_batch() const {
+  return inner_.local_batch();
+}
+
+BatchAssignment LocalityAwareSampler::plan(std::uint64_t step) const {
+  const std::vector<std::uint64_t> ids = inner_.global_batch_ids(step);
+  return assign_owner_greedy(ids, *layout_, inner_.local_batch());
+}
+
+std::vector<std::uint64_t> LocalityAwareSampler::batch_ids(
+    std::uint64_t step) const {
+  if (mode_ == core::LocalityMode::Shuffle) return inner_.batch_ids(step);
+  const std::vector<std::uint64_t> ids = inner_.global_batch_ids(step);
+  const BatchAssignment assignment =
+      assign_owner_greedy(ids, *layout_, inner_.local_batch());
+  std::vector<std::uint64_t> mine;
+  mine.reserve(inner_.local_batch());
+  for (const std::uint32_t slot : assignment.of_rank(inner_.rank())) {
+    mine.push_back(ids[slot]);
+  }
+  return mine;
+}
+
+std::vector<std::uint64_t> LocalityAwareSampler::batch_slots(
+    std::uint64_t step) const {
+  if (mode_ == core::LocalityMode::Shuffle) return inner_.batch_slots(step);
+  const BatchAssignment assignment = plan(step);
+  const std::uint64_t global_batch =
+      inner_.local_batch() * static_cast<std::uint64_t>(inner_.nranks());
+  const std::uint64_t base = step * global_batch;
+  std::vector<std::uint64_t> slots;
+  slots.reserve(inner_.local_batch());
+  for (const std::uint32_t slot : assignment.of_rank(inner_.rank())) {
+    slots.push_back(base + slot);
+  }
+  return slots;
+}
+
+}  // namespace dds::sched

@@ -1,0 +1,50 @@
+// LocalityAwareSampler: a drop-in train::Sampler that wraps a
+// GlobalShuffleSampler and, in OwnerGreedy mode, permutes each global
+// batch's sample->rank assignment so samples land on ranks whose hot
+// chunk already holds them (sched/assign.hpp).
+//
+// Semantics preservation: only the *placement* changes.  The per-step
+// global-batch multiset — and hence the DDP-averaged gradient, when the
+// trainer reduces in canonical (slot-keyed) order — is exactly the one
+// the plain shuffle produces.  In Shuffle mode the wrapper is a pure
+// pass-through, byte-identical to the inner sampler.
+//
+// Elasticity: the wrapper holds a *pointer* to the store's live Layout
+// and recomputes assignments on demand per step, so after an elastic
+// adopt_layout() the very next batch is matched against the new width —
+// no explicit invalidation hook needed.
+#pragma once
+
+#include "core/layout.hpp"
+#include "core/store_config.hpp"
+#include "sched/assign.hpp"
+#include "train/sampler.hpp"
+
+namespace dds::sched {
+
+class LocalityAwareSampler final : public train::Sampler {
+ public:
+  /// `layout` must outlive the sampler and stay address-stable (the
+  /// store's member layout is; adopt_layout swaps its contents in place).
+  LocalityAwareSampler(train::GlobalShuffleSampler inner,
+                       const core::Layout* layout, core::LocalityMode mode);
+
+  void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) override;
+  std::uint64_t steps_per_epoch() const override;
+  std::vector<std::uint64_t> batch_ids(std::uint64_t step) const override;
+  std::vector<std::uint64_t> batch_slots(std::uint64_t step) const override;
+  std::uint64_t local_batch() const override;
+
+  core::LocalityMode mode() const { return mode_; }
+
+  /// The assignment for one step (OwnerGreedy; computed fresh from the
+  /// live layout).  Exposed for tests and the bench sweep.
+  BatchAssignment plan(std::uint64_t step) const;
+
+ private:
+  train::GlobalShuffleSampler inner_;
+  const core::Layout* layout_;
+  core::LocalityMode mode_;
+};
+
+}  // namespace dds::sched

@@ -3,7 +3,7 @@
 namespace dds::train {
 
 RealTrainer::RealTrainer(simmpi::Comm& comm, DataBackend& backend,
-                         RealTrainerConfig config)
+                         RealTrainerConfig config, Sampler* sampler)
     : comm_(comm),
       backend_(&backend),
       config_(config),
@@ -15,10 +15,15 @@ RealTrainer::RealTrainer(simmpi::Comm& comm, DataBackend& backend,
       model_(config.gnn, config.seed),
       optimizer_(model_.parameters(), config.optimizer),
       scheduler_(optimizer_, config.plateau_factor, config.plateau_patience),
-      train_sampler_(train_size_, config.local_batch, config.seed) {
+      train_sampler_(train_size_, config.local_batch, config.seed),
+      external_sampler_(sampler) {
   DDS_CHECK_MSG(train_size_ >= config.local_batch *
                                    static_cast<std::uint64_t>(comm.size()),
                 "training split smaller than one global batch");
+  if (external_sampler_ != nullptr) {
+    DDS_CHECK_MSG(external_sampler_->local_batch() == config_.local_batch,
+                  "external sampler batch does not match trainer config");
+  }
 }
 
 gnn::Tensor RealTrainer::targets_of(const graph::GraphBatch& batch) {
@@ -28,13 +33,20 @@ gnn::Tensor RealTrainer::targets_of(const graph::GraphBatch& batch) {
 }
 
 TrainEpochResult RealTrainer::run_epoch(std::uint64_t epoch) {
-  train_sampler_.begin_epoch(epoch, comm_);
+  Sampler& sampler =
+      external_sampler_ != nullptr ? *external_sampler_ : train_sampler_;
+  sampler.begin_epoch(epoch, comm_);
   backend_->epoch_start();
 
+  const bool canonical = config_.reduction == GradReduction::Canonical;
   double loss_sum = 0;
-  const std::uint64_t steps = train_sampler_.steps_per_epoch();
+  const std::uint64_t steps = sampler.steps_per_epoch();
   for (std::uint64_t step = 0; step < steps; ++step) {
-    const auto ids = train_sampler_.batch_ids(step);
+    if (canonical) {
+      loss_sum += canonical_step(sampler, step);
+      continue;
+    }
+    const auto ids = sampler.batch_ids(step);
     // Whole-batch load: engages the backend's batched fast path (DDStore's
     // fetch planner) when one is configured; identical samples either way.
     const auto samples = backend_->load_batch(ids);
@@ -58,16 +70,85 @@ TrainEpochResult RealTrainer::run_epoch(std::uint64_t epoch) {
 
   TrainEpochResult result;
   result.epoch = epoch;
-  result.train_loss =
-      comm_.allreduce(loss_sum / static_cast<double>(std::max<std::uint64_t>(
-                                     steps, 1)),
-                      simmpi::Op::Sum) /
-      comm_.size();
+  if (canonical) {
+    // The slot-ordered loss fold already spans the whole global batch and
+    // every rank computed the identical value — no reduction needed.
+    const std::uint64_t samples_seen =
+        steps * config_.local_batch * static_cast<std::uint64_t>(comm_.size());
+    result.train_loss =
+        loss_sum / static_cast<double>(std::max<std::uint64_t>(samples_seen, 1));
+  } else {
+    result.train_loss =
+        comm_.allreduce(loss_sum / static_cast<double>(std::max<std::uint64_t>(
+                                       steps, 1)),
+                        simmpi::Op::Sum) /
+        comm_.size();
+  }
   result.val_loss = evaluate(train_size_, val_size_);
   result.test_loss = evaluate(train_size_ + val_size_, test_size_);
   result.lr_reduced = scheduler_.step(result.val_loss);
   result.lr = optimizer_.lr();
   return result;
+}
+
+double RealTrainer::canonical_step(Sampler& sampler, std::uint64_t step) {
+  const auto ids = sampler.batch_ids(step);
+  const auto slots = sampler.batch_slots(step);
+  DDS_CHECK_MSG(slots.size() == ids.size(),
+                "canonical reduction needs a slot-aware sampler");
+  const auto samples = backend_->load_batch(ids);
+
+  // Per-sample backward: the gradient of sample i's own loss is a pure
+  // function of (model weights, sample) — it does not depend on which rank
+  // computes it or on its neighbours in the local batch.
+  std::vector<float> grads;  // local_batch rows of param_count
+  std::vector<double> losses(samples.size());
+  std::size_t param_count = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const graph::GraphBatch one =
+        graph::GraphBatch::collate(std::span<const graph::GraphSample>(
+            samples.data() + i, 1));
+    model_.zero_grad();
+    const gnn::Tensor pred = model_.forward(one);
+    gnn::Tensor dpred;
+    losses[i] = gnn::mse_loss(pred, targets_of(one), &dpred);
+    model_.backward(dpred, one);
+    const auto flat = model_.flatten_grads();
+    param_count = flat.size();
+    grads.insert(grads.end(), flat.begin(), flat.end());
+  }
+
+  // Slot-keyed exchange: every rank sees every per-sample gradient tagged
+  // with its position in the epoch's global sample order.
+  const std::vector<std::uint64_t> all_slots =
+      comm_.allgatherv(std::span<const std::uint64_t>(slots));
+  const std::vector<double> all_losses =
+      comm_.allgatherv(std::span<const double>(losses));
+  const std::vector<float> all_grads =
+      comm_.allgatherv(std::span<const float>(grads));
+  DDS_CHECK(all_slots.size() * param_count == all_grads.size());
+
+  // Canonical fold: ascending slot order — the shuffle's own sequence — so
+  // the sum is invariant under any sample->rank reassignment.
+  std::vector<std::size_t> order(all_slots.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return all_slots[a] < all_slots[b];
+  });
+
+  std::vector<float> total(param_count, 0.0f);
+  double loss_total = 0;
+  for (const std::size_t idx : order) {
+    const float* row = all_grads.data() + idx * param_count;
+    for (std::size_t p = 0; p < param_count; ++p) total[p] += row[p];
+    loss_total += all_losses[idx];
+  }
+  const float inv =
+      1.0f / static_cast<float>(all_slots.size());  // mean over global batch
+  for (auto& g : total) g *= inv;
+  model_.load_grads(total);
+  optimizer_.step();
+  return loss_total;
 }
 
 double RealTrainer::evaluate(std::uint64_t first, std::uint64_t count) {

@@ -14,6 +14,24 @@
 
 namespace dds::train {
 
+/// How per-step gradients are combined across ranks.
+///
+/// PerRank (the default): each rank backpropagates its collated local
+/// batch and the partial gradients are summed with an allreduce.  Fast,
+/// but the floating-point result depends on which rank ran which sample —
+/// reassigning samples within a global batch changes the bit pattern.
+///
+/// Canonical: each rank backpropagates per sample, the per-sample
+/// gradients are allgathered keyed by their global-batch slot, and every
+/// rank folds them in slot order.  The result is a pure function of the
+/// global batch *sequence* — invariant under any sample->rank assignment —
+/// which is what lets the locality-aware scheduler (src/sched) claim
+/// bit-identical convergence against the plain shuffle.
+enum class GradReduction {
+  PerRank,
+  Canonical,
+};
+
 struct RealTrainerConfig {
   gnn::GnnConfig gnn;
   gnn::AdamWConfig optimizer;
@@ -22,6 +40,7 @@ struct RealTrainerConfig {
   double train_fraction = 0.8;  ///< remainder split evenly val/test
   double plateau_factor = 0.5;
   int plateau_patience = 10;
+  GradReduction reduction = GradReduction::PerRank;
 };
 
 struct TrainEpochResult {
@@ -35,8 +54,12 @@ struct TrainEpochResult {
 
 class RealTrainer {
  public:
+  /// `sampler` optionally replaces the built-in GlobalShuffleSampler for
+  /// the training split (non-owning; must outlive the trainer and sample
+  /// ids in [0, train_size())).  This is how the locality-aware sampler
+  /// (src/sched) plugs in without train/ depending on sched/.
   RealTrainer(simmpi::Comm& comm, DataBackend& backend,
-              RealTrainerConfig config);
+              RealTrainerConfig config, Sampler* sampler = nullptr);
 
   /// Collective: one epoch of training + validation/test evaluation.
   TrainEpochResult run_epoch(std::uint64_t epoch);
@@ -50,6 +73,11 @@ class RealTrainer {
   /// Mean MSE over an id range, evaluated in parallel across ranks.
   double evaluate(std::uint64_t first, std::uint64_t count);
 
+  /// One canonical-reduction step: per-sample backward, slot-keyed
+  /// allgather, slot-ordered fold.  Returns the slot-ordered sum of
+  /// per-sample losses over the whole global batch.
+  double canonical_step(Sampler& sampler, std::uint64_t step);
+
   static gnn::Tensor targets_of(const graph::GraphBatch& batch);
 
   simmpi::Comm comm_;
@@ -62,6 +90,7 @@ class RealTrainer {
   gnn::AdamW optimizer_;
   gnn::ReduceLROnPlateau scheduler_;
   GlobalShuffleSampler train_sampler_;
+  Sampler* external_sampler_ = nullptr;  ///< non-owning; wins when non-null
 };
 
 }  // namespace dds::train

@@ -49,6 +49,31 @@ std::vector<std::uint64_t> GlobalShuffleSampler::batch_ids(
                                     perm_->begin() + static_cast<std::ptrdiff_t>(base + batch_));
 }
 
+std::vector<std::uint64_t> GlobalShuffleSampler::batch_slots(
+    std::uint64_t step) const {
+  DDS_CHECK_MSG(perm_ != nullptr, "begin_epoch not called");
+  DDS_CHECK(step < steps_per_epoch());
+  const std::uint64_t global_batch =
+      batch_ * static_cast<std::uint64_t>(nranks_);
+  const std::uint64_t base =
+      step * global_batch + static_cast<std::uint64_t>(rank_) * batch_;
+  std::vector<std::uint64_t> slots(batch_);
+  for (std::uint64_t k = 0; k < batch_; ++k) slots[k] = base + k;
+  return slots;
+}
+
+std::vector<std::uint64_t> GlobalShuffleSampler::global_batch_ids(
+    std::uint64_t step) const {
+  DDS_CHECK_MSG(perm_ != nullptr, "begin_epoch not called");
+  DDS_CHECK(step < steps_per_epoch());
+  const std::uint64_t global_batch =
+      batch_ * static_cast<std::uint64_t>(nranks_);
+  const std::uint64_t base = step * global_batch;
+  return std::vector<std::uint64_t>(
+      perm_->begin() + static_cast<std::ptrdiff_t>(base),
+      perm_->begin() + static_cast<std::ptrdiff_t>(base + global_batch));
+}
+
 // ---- LocalShuffleSampler ----------------------------------------------------
 
 LocalShuffleSampler::LocalShuffleSampler(std::uint64_t num_samples,

@@ -33,6 +33,15 @@ class Sampler {
   /// Sample ids this rank loads at `step` (size = local batch).
   virtual std::vector<std::uint64_t> batch_ids(std::uint64_t step) const = 0;
 
+  /// Epoch-sequence position of each id batch_ids(step) returns: the slot
+  /// in the epoch's global sample order (globally unique across ranks and
+  /// steps).  Canonical-order DDP reduction keys its gradient sums on
+  /// these so the result is invariant under any within-batch reassignment.
+  /// Samplers without a global order return empty (the default).
+  virtual std::vector<std::uint64_t> batch_slots(std::uint64_t) const {
+    return {};
+  }
+
   virtual std::uint64_t local_batch() const = 0;
 };
 
@@ -45,7 +54,15 @@ class GlobalShuffleSampler final : public Sampler {
   void begin_epoch(std::uint64_t epoch, simmpi::Comm& comm) override;
   std::uint64_t steps_per_epoch() const override;
   std::vector<std::uint64_t> batch_ids(std::uint64_t step) const override;
+  std::vector<std::uint64_t> batch_slots(std::uint64_t step) const override;
   std::uint64_t local_batch() const override { return batch_; }
+
+  /// The whole global batch at `step` in slot order (all ranks' slices
+  /// concatenated) — the input a locality-aware rescheduler permutes.
+  std::vector<std::uint64_t> global_batch_ids(std::uint64_t step) const;
+
+  int nranks() const { return nranks_; }
+  int rank() const { return rank_; }
 
  private:
   std::uint64_t num_samples_;

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Re-bless the CI perf baseline and its sha256 pin in one step.
+
+The perf gate pins bench/baselines/BENCH_ci_perf.json two ways: an exact
+JSON diff (tools/check_perf.py) and a sha256 of the baseline file hardcoded
+in .github/workflows/ci.yml.  An intentional behaviour change therefore
+needs two edits that must agree; doing them by hand invites a mismatched
+pin that fails CI one commit later.  This tool does both atomically:
+
+    python3 tools/bless_baseline.py --bench build-rel/bench/bench_ci_perf
+
+runs the bench twice (the runs must be byte-identical — the determinism
+contract the gate relies on), rewrites the baseline, and patches the pinned
+hash in ci.yml to match.
+
+    python3 tools/bless_baseline.py --check
+
+verifies the pin without running anything: the hash embedded in ci.yml must
+equal the sha256 of the committed baseline file.  CI's perf-gate job runs
+this so a hand-edited pin or baseline can never slip through.
+"""
+
+import argparse
+import hashlib
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "bench" / "baselines" / "BENCH_ci_perf.json"
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+PIN_RE = re.compile(
+    r"[0-9a-f]{64}(?=\s+bench/baselines/BENCH_ci_perf\.json)")
+
+
+def sha256_of(path):
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def pinned_hash(workflow_text):
+    pins = PIN_RE.findall(workflow_text)
+    if len(pins) != 1:
+        sys.exit(f"error: expected exactly one sha256 pin for "
+                 f"{BASELINE.name} in {WORKFLOW}, found {len(pins)}")
+    return pins[0]
+
+
+def check():
+    actual = sha256_of(BASELINE)
+    pinned = pinned_hash(WORKFLOW.read_text())
+    if actual == pinned:
+        print(f"pin OK: {BASELINE.relative_to(REPO)} sha256 {actual} "
+              "matches ci.yml")
+        return 0
+    print("pin MISMATCH: the sha256 hardcoded in ci.yml is not the hash of "
+          "the committed baseline", file=sys.stderr)
+    print(f"  pinned in ci.yml: {pinned}", file=sys.stderr)
+    print(f"  actual baseline : {actual}", file=sys.stderr)
+    print("re-bless both in one step: python3 tools/bless_baseline.py "
+          "--bench <path-to-bench_ci_perf>", file=sys.stderr)
+    return 1
+
+
+def bless(bench):
+    bench = pathlib.Path(bench)
+    if not bench.exists():
+        sys.exit(f"error: bench binary not found: {bench}\n"
+                 "build it first: cmake --build build-rel -j "
+                 "--target bench_ci_perf")
+    runs = [subprocess.run([str(bench)], capture_output=True, check=True)
+            .stdout for _ in range(2)]
+    if runs[0] != runs[1]:
+        sys.exit("error: two consecutive runs were NOT byte-identical; the "
+                 "determinism contract is broken — fix that before "
+                 "re-blessing the baseline")
+
+    old_hash = sha256_of(BASELINE) if BASELINE.exists() else None
+    BASELINE.write_bytes(runs[0])
+    new_hash = sha256_of(BASELINE)
+
+    text = WORKFLOW.read_text()
+    pinned_hash(text)  # validates exactly one pin exists
+    WORKFLOW.write_text(PIN_RE.sub(new_hash, text))
+
+    if old_hash == new_hash:
+        print(f"baseline unchanged (sha256 {new_hash}); pin rewritten "
+              "in place")
+    else:
+        print(f"baseline re-blessed: {BASELINE.relative_to(REPO)}")
+        print(f"  old sha256: {old_hash}")
+        print(f"  new sha256: {new_hash}")
+        print(f"  pin updated in {WORKFLOW.relative_to(REPO)}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--check", action="store_true",
+                        help="verify the ci.yml pin matches the committed "
+                             "baseline; run nothing")
+    parser.add_argument("--bench", default="build-rel/bench/bench_ci_perf",
+                        help="path to the bench_ci_perf binary "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+    return check() if args.check else bless(args.bench)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
