@@ -1,0 +1,107 @@
+// Multi-tenant quickstart: three training jobs sharing one DDStore.
+//
+// This walks the tenant API end to end:
+//   1. stage a synthetic molecular dataset as a CFF container on the
+//      simulated parallel filesystem,
+//   2. bring up a 4-rank serving job and one DDStore over it,
+//   3. admit three tenants with different dataset mounts, batch sizes,
+//      and QoS weights — a production job (weight 4), a batch job, and a
+//      small exploratory job mounting only the first quarter,
+//   4. run interleaved epochs under the weighted-round-robin arbiter,
+//   5. print each tenant's epoch report (throughput under sharing, p99
+//      fetch latency, served bytes, worst arbiter wait) and a rollup of
+//      per-tenant labeled counter families straight from the shared
+//      MetricsRegistry.
+//
+// Build & run:  ./build/examples/multitenant
+#include <cstdio>
+
+#include "core/ddstore.hpp"
+#include "datagen/dataset.hpp"
+#include "formats/cff.hpp"
+#include "tenant/driver.hpp"
+
+using namespace dds;
+
+int main() {
+  // --- 1. stage a dataset -------------------------------------------------
+  const auto machine = model::perlmutter();
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kSamples = 2048;
+
+  fs::ParallelFileSystem pfs(machine.fs, machine.nodes_for_ranks(kRanks));
+  const auto dataset =
+      datagen::make_dataset(datagen::DatasetKind::AisdHomoLumo, kSamples,
+                            /*seed=*/7);
+  formats::CffWriter::stage(pfs, "data/aisd", *dataset, /*nsubfiles=*/4);
+  const formats::CffReader reader(pfs, "data/aisd",
+                                  dataset->spec().nominal_cff_sample_bytes());
+  std::printf("staged %llu molecules; serving %d ranks\n",
+              static_cast<unsigned long long>(reader.num_samples()), kRanks);
+
+  // --- 2-4. serve three jobs from one store -------------------------------
+  simmpi::Runtime runtime(kRanks, machine);
+  runtime.run([&](simmpi::Comm& world) {
+    fs::FsClient fs_client(pfs, machine.node_of_rank(world.world_rank()),
+                           world.clock(), world.rng());
+    core::DDStoreConfig config;
+    config.width = 2;
+    config.cache_capacity_bytes = 16ull << 20;
+    core::DDStore store(world, reader, fs_client, config);
+
+    tenant::TenantRegistry registry(store);
+    tenant::TenantSpec prod;
+    prod.name = "prod";
+    prod.local_batch = 16;
+    prod.seed = 11;
+    prod.weight = 4.0;  // the paying customer
+    registry.admit(prod);
+
+    tenant::TenantSpec batch;
+    batch.name = "batch";
+    batch.local_batch = 32;
+    batch.seed = 12;
+    registry.admit(batch);
+
+    tenant::TenantSpec dev;
+    dev.name = "dev";
+    dev.mount_samples = kSamples / 4;  // first quarter of the store only
+    dev.local_batch = 4;
+    dev.seed = 13;
+    registry.admit(dev);
+
+    tenant::MultiTenantDriver driver(world, registry, machine);
+    for (std::uint64_t epoch = 0; epoch < 2; ++epoch) {
+      const auto reports = driver.run_epoch(epoch);
+      if (world.rank() != 0) continue;
+      std::printf("epoch %llu\n", static_cast<unsigned long long>(epoch));
+      for (const auto& r : reports) {
+        std::printf(
+            "  %-6s %5llu steps  %8.1f samples/s  p99 %.3g ms  "
+            "%6.2f MiB served  worst wait %d grants\n",
+            r.name.c_str(), static_cast<unsigned long long>(r.steps),
+            r.throughput, r.p99_fetch_s * 1e3,
+            static_cast<double>(r.served_bytes) / (1 << 20),
+            r.max_wait_grants);
+      }
+    }
+
+    // --- 5. labeled counter rollup, straight off the shared registry ----
+    if (world.rank() == 0) {
+      std::printf("\nper-tenant counter families (rank 0):\n");
+      const auto& metrics = store.metrics();
+      for (const char* family :
+           {"bytes_fetched", "cache_hits", "cache_misses", "lock_epochs"}) {
+        std::printf("  %s (total %llu)\n", family,
+                    static_cast<unsigned long long>(
+                        metrics.family_total(family)));
+        for (const auto& [label, value] : metrics.family_values(family)) {
+          if (label.empty()) continue;  // the unlabeled global entry
+          std::printf("    %-14s %llu\n", label.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
+    }
+  });
+  return 0;
+}

@@ -28,12 +28,24 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
 namespace dds {
+
+/// One key=value dimension attached to a counter family, e.g.
+/// {"tenant", "3"}.  A default-constructed (empty-key) label means "no
+/// label": the family name is used verbatim, so call sites that thread an
+/// optional label through pay nothing when it is unset.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+
+  bool empty() const { return key.empty(); }
+};
 
 class MetricsRegistry {
  public:
@@ -86,6 +98,57 @@ class MetricsRegistry {
     counters_.push_back(CounterEntry{name, preserve_on_reset, Counter{}});
     counter_names_.push_back(name);
     return counters_.back().counter;
+  }
+
+  /// Canonical decorated name of a labeled family member:
+  /// "bytes_fetched" + {tenant, 3} -> "bytes_fetched{tenant=3}".  An empty
+  /// label returns the family name unchanged.
+  static std::string labeled_name(const std::string& family,
+                                  const MetricLabel& label) {
+    if (label.empty()) return family;
+    return family + "{" + label.key + "=" + label.value + "}";
+  }
+
+  /// Registers a counter in a labeled family.  With an empty label this is
+  /// exactly counter(family) — zero-overhead passthrough, the decorated
+  /// name is never materialized — so single-tenant call sites keep the
+  /// default counter layout byte-for-byte.  Labeled members are ordinary
+  /// registry entries: EpochReport deltas, elementwise cross-rank sums,
+  /// and bench JSON all pick them up generically.
+  Counter& counter(const std::string& family, const MetricLabel& label,
+                   bool preserve_on_reset = false) {
+    if (label.empty()) return counter(family, preserve_on_reset);
+    return counter(labeled_name(family, label), preserve_on_reset);
+  }
+
+  /// All registered members of a family, in registration order, as
+  /// (label, value) pairs; the unlabeled member (if any) appears with an
+  /// empty label string, a labeled member as "key=value".  Used by
+  /// per-tenant rollups; scans the name list, so keep it off hot paths.
+  std::vector<std::pair<std::string, std::uint64_t>> family_values(
+      const std::string& family) const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    const std::string prefix = family + "{";
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      const std::string& name = counter_names_[i];
+      if (name == family) {
+        out.emplace_back("", counters_[i].counter.value());
+      } else if (name.size() > prefix.size() + 1 &&
+                 name.compare(0, prefix.size(), prefix) == 0 &&
+                 name.back() == '}') {
+        out.emplace_back(
+            name.substr(prefix.size(), name.size() - prefix.size() - 1),
+            counters_[i].counter.value());
+      }
+    }
+    return out;
+  }
+
+  /// Sum over every member of a family (unlabeled + all labels).
+  std::uint64_t family_total(const std::string& family) const {
+    std::uint64_t total = 0;
+    for (const auto& [label, value] : family_values(family)) total += value;
+    return total;
   }
 
   Gauge& gauge(const std::string& name, bool preserve_on_reset = false) {

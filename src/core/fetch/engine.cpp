@@ -75,6 +75,33 @@ void FetchEngine::admit(std::uint64_t id, ByteSpan bytes) {
   metrics_.cache_evictions += cache_.insert(id, bytes);
 }
 
+void FetchEngine::account_get(int owner, std::uint64_t length) {
+  TenantScope* tenant = ctx_.tenant;
+  if (owner == ctx_.group->rank()) {
+    ++metrics_.local_gets;
+    if (tenant != nullptr && tenant->local_gets != nullptr) {
+      ++*tenant->local_gets;
+    }
+  } else {
+    ++metrics_.remote_gets;
+    if (tenant != nullptr && tenant->remote_gets != nullptr) {
+      ++*tenant->remote_gets;
+    }
+  }
+  metrics_.bytes_fetched += length;
+  metrics_.nominal_bytes_fetched += ctx_.nominal_sample_bytes;
+  if (tenant != nullptr && tenant->bytes_fetched != nullptr) {
+    *tenant->bytes_fetched += length;
+  }
+}
+
+void FetchEngine::record_latency(double seconds) {
+  metrics_.latency.add(seconds);
+  if (ctx_.tenant != nullptr && ctx_.tenant->latency != nullptr) {
+    ctx_.tenant->latency->add(seconds);
+  }
+}
+
 ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
   const auto& entry = ctx_.registry().lookup(id);
   // Staging stage routes every cold sample before the cache stage ever
@@ -89,6 +116,7 @@ ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
     if (const ByteBuffer* hit = cache_.lookup(id)) {
       ++metrics_.cache_hits;
       metrics_.cache_hit_bytes += entry.length;
+      cache_.charge_hit(entry.length);
       tracing::Span span(ctx_.tracer(), ctx_.clock(), tracing::Category::Cache,
                          "cache_hit");
       span.args().sample_id = static_cast<std::int64_t>(id);
@@ -97,6 +125,7 @@ ByteBuffer FetchEngine::get_bytes(std::uint64_t id) {
       return *hit;
     }
     ++metrics_.cache_misses;
+    cache_.charge_misses(1);
     if (tracing::EventTracer* tr = ctx_.tracer()) {
       tracing::EventArgs args;
       args.sample_id = static_cast<std::int64_t>(id);
@@ -144,13 +173,7 @@ void FetchEngine::fetch_into(std::uint64_t id, MutableByteSpan dst,
     resilience_.fetch(id, entry, dst, locked, overhead_scale);
   }
 
-  if (owner == ctx_.group->rank()) {
-    ++metrics_.local_gets;
-  } else {
-    ++metrics_.remote_gets;
-  }
-  metrics_.bytes_fetched += entry.length;
-  metrics_.nominal_bytes_fetched += ctx_.nominal_sample_bytes;
+  account_get(owner, entry.length);
 }
 
 graph::GraphSample FetchEngine::get(std::uint64_t id) {
@@ -160,7 +183,7 @@ graph::GraphSample FetchEngine::get(std::uint64_t id) {
   const ByteBuffer bytes = get_bytes(id);
   decode_.charge(clock, ctx_.nominal_sample_bytes);
   auto sample = graph::GraphSample::deserialize(bytes);
-  metrics_.latency.add(clock.now() - t0);
+  record_latency(clock.now() - t0);
   return sample;
 }
 
@@ -174,7 +197,13 @@ std::vector<graph::GraphSample> FetchEngine::get_batch(
   if (ctx_.config->comm_mode == CommMode::TwoSided) {
     return get_batch_per_sample(ids);
   }
-  switch (ctx_.config->batch_fetch) {
+  // A tenant scope may override the store-wide batch-fetch mode (e.g. one
+  // PerSample tenant beside Coalesced ones over the same engine).
+  const BatchFetchMode mode =
+      (ctx_.tenant != nullptr && ctx_.tenant->batch_fetch.has_value())
+          ? *ctx_.tenant->batch_fetch
+          : ctx_.config->batch_fetch;
+  switch (mode) {
     case BatchFetchMode::PerSample:
       return get_batch_per_sample(ids);
     case BatchFetchMode::LockPerTarget:
@@ -205,7 +234,7 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_per_sample(
     }
     decode_.charge(clock, ctx_.nominal_sample_bytes);
     out[i] = graph::GraphSample::deserialize(it->second);
-    metrics_.latency.add(clock.now() - t0);
+    record_latency(clock.now() - t0);
   }
   return out;
 }
@@ -258,6 +287,7 @@ void FetchEngine::serve_cache_hit(const PlannedSample& sample,
   DDS_CHECK(bytes != nullptr);
   ++metrics_.cache_hits;
   metrics_.cache_hit_bytes += sample.length;
+  cache_.charge_hit(sample.length);
   auto& clock = ctx_.clock();
   const double t0 = clock.now();
   {
@@ -302,7 +332,10 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
   metrics_.batch_dup_hits += plan.duplicate_hits;
   metrics_.lock_epochs_saved +=
       plan.unique_samples - static_cast<std::uint64_t>(plan.targets.size());
-  if (cache_.enabled()) metrics_.cache_misses += plan.unique_samples;
+  if (cache_.enabled()) {
+    metrics_.cache_misses += plan.unique_samples;
+    cache_.charge_misses(plan.unique_samples);
+  }
 
   // Partition the diverted samples.  Cache first: after an elastic reshard
   // narrows the hot prefix, a previously-hot sample can be both cached and
@@ -363,13 +396,7 @@ std::vector<graph::GraphSample> FetchEngine::get_batch_planned(
       const auto& entry = ctx_.registry().lookup(s.id);
       const ByteSpan view(staging.data() + s.staging_offset, s.length);
       if (delivered && resilience_.payload_intact(entry, view)) {
-        if (tp.owner == ctx_.group->rank()) {
-          ++metrics_.local_gets;
-        } else {
-          ++metrics_.remote_gets;
-        }
-        metrics_.bytes_fetched += entry.length;
-        metrics_.nominal_bytes_fetched += ctx_.nominal_sample_bytes;
+        account_get(tp.owner, entry.length);
         admit(s.id, view);
         decode_occurrences(s, view, fetch_share, out);
       } else {
@@ -442,7 +469,7 @@ void FetchEngine::decode_occurrences(const PlannedSample& sample,
     const double t0 = clock.now();
     decode_.charge(clock, ctx_.nominal_sample_bytes);
     out[pos] = graph::GraphSample::deserialize(bytes);
-    metrics_.latency.add(fetch_share + (clock.now() - t0));
+    record_latency(fetch_share + (clock.now() - t0));
   }
 }
 

@@ -33,54 +33,66 @@ gnn::Tensor RealTrainer::targets_of(const graph::GraphBatch& batch) {
 }
 
 TrainEpochResult RealTrainer::run_epoch(std::uint64_t epoch) {
-  Sampler& sampler =
-      external_sampler_ != nullptr ? *external_sampler_ : train_sampler_;
-  sampler.begin_epoch(epoch, comm_);
+  begin_epoch(epoch);
+  const std::uint64_t steps = train_steps();
+  for (std::uint64_t step = 0; step < steps; ++step) train_step(step);
+  return finish_epoch(epoch);
+}
+
+void RealTrainer::begin_epoch(std::uint64_t epoch) {
+  active_sampler().begin_epoch(epoch, comm_);
   backend_->epoch_start();
+  loss_sum_ = 0;
+}
 
-  const bool canonical = config_.reduction == GradReduction::Canonical;
-  double loss_sum = 0;
-  const std::uint64_t steps = sampler.steps_per_epoch();
-  for (std::uint64_t step = 0; step < steps; ++step) {
-    if (canonical) {
-      loss_sum += canonical_step(sampler, step);
-      continue;
-    }
-    const auto ids = sampler.batch_ids(step);
-    // Whole-batch load: engages the backend's batched fast path (DDStore's
-    // fetch planner) when one is configured; identical samples either way.
-    const auto samples = backend_->load_batch(ids);
-    const auto batch = graph::GraphBatch::collate(samples);
-    const gnn::Tensor target = targets_of(batch);
+std::uint64_t RealTrainer::train_steps() const {
+  return active_sampler().steps_per_epoch();
+}
 
-    model_.zero_grad();
-    const gnn::Tensor pred = model_.forward(batch);
-    gnn::Tensor dpred;
-    loss_sum += gnn::mse_loss(pred, target, &dpred);
-    model_.backward(dpred, batch);
-
-    // DDP steps iv-v: aggregate gradients, then update local replicas.
-    auto flat = model_.flatten_grads();
-    comm_.allreduce_inplace(std::span<float>(flat), simmpi::Op::Sum);
-    const float inv_n = 1.0f / static_cast<float>(comm_.size());
-    for (auto& g : flat) g *= inv_n;
-    model_.load_grads(flat);
-    optimizer_.step();
+void RealTrainer::train_step(std::uint64_t step) {
+  Sampler& sampler = active_sampler();
+  if (config_.reduction == GradReduction::Canonical) {
+    loss_sum_ += canonical_step(sampler, step);
+    return;
   }
+  const auto ids = sampler.batch_ids(step);
+  // Whole-batch load: engages the backend's batched fast path (DDStore's
+  // fetch planner) when one is configured; identical samples either way.
+  const auto samples = backend_->load_batch(ids);
+  const auto batch = graph::GraphBatch::collate(samples);
+  const gnn::Tensor target = targets_of(batch);
 
+  model_.zero_grad();
+  const gnn::Tensor pred = model_.forward(batch);
+  gnn::Tensor dpred;
+  loss_sum_ += gnn::mse_loss(pred, target, &dpred);
+  model_.backward(dpred, batch);
+
+  // DDP steps iv-v: aggregate gradients, then update local replicas.
+  auto flat = model_.flatten_grads();
+  comm_.allreduce_inplace(std::span<float>(flat), simmpi::Op::Sum);
+  const float inv_n = 1.0f / static_cast<float>(comm_.size());
+  for (auto& g : flat) g *= inv_n;
+  model_.load_grads(flat);
+  optimizer_.step();
+}
+
+TrainEpochResult RealTrainer::finish_epoch(std::uint64_t epoch) {
+  const std::uint64_t steps = train_steps();
   TrainEpochResult result;
   result.epoch = epoch;
-  if (canonical) {
+  if (config_.reduction == GradReduction::Canonical) {
     // The slot-ordered loss fold already spans the whole global batch and
     // every rank computed the identical value — no reduction needed.
     const std::uint64_t samples_seen =
         steps * config_.local_batch * static_cast<std::uint64_t>(comm_.size());
     result.train_loss =
-        loss_sum / static_cast<double>(std::max<std::uint64_t>(samples_seen, 1));
+        loss_sum_ /
+        static_cast<double>(std::max<std::uint64_t>(samples_seen, 1));
   } else {
     result.train_loss =
-        comm_.allreduce(loss_sum / static_cast<double>(std::max<std::uint64_t>(
-                                       steps, 1)),
+        comm_.allreduce(loss_sum_ / static_cast<double>(std::max<std::uint64_t>(
+                                        steps, 1)),
                         simmpi::Op::Sum) /
         comm_.size();
   }

@@ -64,12 +64,42 @@ class RealTrainer {
   /// Collective: one epoch of training + validation/test evaluation.
   TrainEpochResult run_epoch(std::uint64_t epoch);
 
+  // ---- step-level epoch API ---------------------------------------------
+  // run_epoch(e) ≡ begin_epoch(e); train_step(0..train_steps());
+  // finish_epoch(e).  Exposed so the multi-tenant driver (src/tenant) can
+  // interleave several trainers' steps through one shared store under an
+  // arbiter's grant order; the loss math is untouched by the split, which
+  // is what makes per-tenant loss curves bit-identical to solo runs.
+
+  /// Collective: shuffles the epoch's permutation and resets the loss
+  /// accumulator.
+  void begin_epoch(std::uint64_t epoch);
+
+  /// Training steps in the current epoch.
+  std::uint64_t train_steps() const;
+
+  /// Collective: one training step (load, forward/backward, gradient
+  /// reduction, optimizer).  Steps must run in order, every rank together.
+  void train_step(std::uint64_t step);
+
+  /// Collective: train-loss reduction, validation/test evaluation, LR
+  /// scheduler step.
+  TrainEpochResult finish_epoch(std::uint64_t epoch);
+
   gnn::HydraGnnModel& model() { return model_; }
   std::uint64_t train_size() const { return train_size_; }
   std::uint64_t val_size() const { return val_size_; }
   std::uint64_t test_size() const { return test_size_; }
 
  private:
+  Sampler& active_sampler() {
+    return external_sampler_ != nullptr ? *external_sampler_ : train_sampler_;
+  }
+  const Sampler& active_sampler() const {
+    if (external_sampler_ != nullptr) return *external_sampler_;
+    return train_sampler_;
+  }
+
   /// Mean MSE over an id range, evaluated in parallel across ranks.
   double evaluate(std::uint64_t first, std::uint64_t count);
 
@@ -91,6 +121,7 @@ class RealTrainer {
   gnn::ReduceLROnPlateau scheduler_;
   GlobalShuffleSampler train_sampler_;
   Sampler* external_sampler_ = nullptr;  ///< non-owning; wins when non-null
+  double loss_sum_ = 0;  ///< accumulated by train_step within one epoch
 };
 
 }  // namespace dds::train

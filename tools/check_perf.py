@@ -28,19 +28,27 @@ def fmt_key(key):
     return f"{key[0]} n{key[1]} w{key[2]} {key[3]} cache={key[4]}"
 
 
+def rel_delta(base_value, fresh_value):
+    """Relative drift as a percent string; n/a when undefined."""
+    if None in (base_value, fresh_value) or base_value == 0:
+        return "n/a"
+    return f"{100.0 * (fresh_value - base_value) / base_value:+.4f}%"
+
+
 def compare_cell(key, base, fresh, rows):
     ok = True
     for field in ("epoch_seconds", "overlap_hidden_s"):
         b, f = base.get(field, []), fresh.get(field, [])
         if len(b) != len(f):
             rows.append((fmt_key(key), field, f"{len(b)} epochs",
-                         f"{len(f)} epochs", "n/a"))
+                         f"{len(f)} epochs", "n/a", "n/a"))
             ok = False
             continue
         for i, (bv, fv) in enumerate(zip(b, f)):
             if bv != fv:
                 rows.append((fmt_key(key), f"{field}[{i}]", repr(bv),
-                             repr(fv), f"{fv - bv:+.3e}"))
+                             repr(fv), f"{fv - bv:+.3e}",
+                             rel_delta(bv, fv)))
                 ok = False
     bc, fc = base.get("counters", {}), fresh.get("counters", {})
     for name in sorted(set(bc) | set(fc)):
@@ -48,7 +56,7 @@ def compare_cell(key, base, fresh, rows):
         if bv != fv:
             delta = "n/a" if None in (bv, fv) else f"{fv - bv:+d}"
             rows.append((fmt_key(key), f"counters.{name}", repr(bv),
-                         repr(fv), delta))
+                         repr(fv), delta, rel_delta(bv, fv)))
             ok = False
     return ok
 
@@ -68,11 +76,13 @@ def main(argv):
     ok = True
     for key in base_map:
         if key not in fresh_map:
-            rows.append((fmt_key(key), "<cell>", "present", "missing", "n/a"))
+            rows.append((fmt_key(key), "<cell>", "present", "missing", "n/a",
+                         "n/a"))
             ok = False
     for key in fresh_map:
         if key not in base_map:
-            rows.append((fmt_key(key), "<cell>", "missing", "present", "n/a"))
+            rows.append((fmt_key(key), "<cell>", "missing", "present", "n/a",
+                         "n/a"))
             ok = False
     for key in sorted(set(base_map) & set(fresh_map)):
         if not compare_cell(key, base_map[key], fresh_map[key], rows):
@@ -86,10 +96,8 @@ def main(argv):
     print("perf gate FAILED: modeled results drifted from the baseline")
     print("(intentional change? regenerate the baseline in this PR: "
           "bench_ci_perf > bench/baselines/BENCH_ci_perf.json)\n")
-    widths = [max(len(r[i]) for r in rows + [("cell", "field", "baseline",
-                                             "fresh", "delta")])
-              for i in range(5)]
-    header = ("cell", "field", "baseline", "fresh", "delta")
+    header = ("cell", "field", "baseline", "fresh", "delta", "rel delta")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(6)]
     for row in [header] + rows:
         print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
     return 1
